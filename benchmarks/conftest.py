@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints it.
+Sample counts are laptop-scale (the paper used >40,000 injections per
+cell); the *shape* of each result is asserted, not the absolute values.
+Set ``REPRO_BENCH_N`` to scale the injection counts up.
+"""
+
+import os
+
+import pytest
+
+from repro.system.machine import MachineConfig
+
+#: injections per campaign cell (override with REPRO_BENCH_N)
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "60"))
+
+#: machine configuration used across the benches
+BENCH_CONFIG = MachineConfig(
+    cores=8, threads_per_core=4, l2_banks=8, l2_sets=8, l2_ways=4
+)
+
+#: benchmark subset used for campaign benches (one per suite plus the
+#: lock-heavy fluidanimate); the full 18 are exercised in the test suite
+BENCH_WORKLOADS = ["fft", "flui", "p-sm"]
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG

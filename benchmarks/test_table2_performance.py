@@ -1,0 +1,31 @@
+"""Bench regenerating Table 2 (mixed-mode simulation performance)."""
+
+from repro.mixedmode.performance import PerformanceModel, table2_model
+from repro.utils.render import render_table
+
+
+def test_table2_performance(benchmark):
+    model = PerformanceModel()
+
+    def build():
+        rows = table2_model(app_cycles=400e6)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = [
+        (r.step, f"{r.cycles:,.0f}", f"{r.rate:,.0f}", f"{r.seconds:.1f}")
+        for r in rows
+    ]
+    table.append(
+        ("Total", "-", "-", f"{model.seconds_per_run(400e6):.1f} (= 70 + L/4M)")
+    )
+    print("\n" + render_table(
+        ["Step", "Cycles (avg)", "Rate (cyc/s)", "Seconds"],
+        table,
+        title="Table 2 (reproduced, paper's analytic model)",
+    ))
+    print(f"throughput @ L=400M: {model.throughput(400e6):,.0f} cycles/s")
+    print(f"crossover (>2M cyc/s): L > {model.crossover_length():,.0f} cycles")
+    print(f"speedup vs RTL-only:  {model.speedup_vs_rtl(400e6):,.0f}x")
+    assert model.throughput(281e6) > 2_000_000
+    assert model.speedup_vs_rtl(281e6) > 20_000

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quick Replay Recovery demonstration (paper Sec. 6).
+
+Protects an L2 cache bank with parity + QRR, injects errors into
+parity-covered flip-flops while an application runs, and shows every run
+recovering to the correct output.  Also prints the coverage breakdown
+and the analytic improvement factor (paper footnote 15: >100x).
+"""
+
+import argparse
+
+from repro.mixedmode.platform import MixedModePlatform
+from repro.physical import compute_table6
+from repro.qrr.campaign import QrrCampaign
+from repro.qrr.coverage import classify_coverage, improvement_factor
+from repro.system.machine import MachineConfig
+from repro.uncore.l2c import L2cRtl
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20, help="injections per component")
+    parser.add_argument("--benchmark", default="flui")
+    args = parser.parse_args()
+
+    config = MachineConfig(cores=4, threads_per_core=2, l2_banks=8, l2_sets=16)
+    platform = MixedModePlatform(
+        args.benchmark, machine_config=config, scale=1 / 100_000
+    )
+
+    for component in ("l2c", "mcu"):
+        campaign = QrrCampaign(platform, component)
+        result = campaign.run(args.n, seed=1)
+        print(
+            f"{component.upper()}: {result.recovered}/{result.injections} "
+            f"recovered (detected {result.detected}); "
+            f"failures: {result.failures or 'none'}"
+        )
+
+    coverage = classify_coverage(
+        L2cRtl(0, platform.machine.amap, config.l2_ways, send_mcu=lambda r: None),
+        "l2c",
+    )
+    print(f"\nL2C coverage: {coverage.parity_covered:,} parity-covered, "
+          f"{coverage.hardened_timing:,} timing-hardened, "
+          f"{coverage.hardened_config:,} config-hardened, "
+          f"{coverage.qrr_controller:,} controller FFs")
+    print(f"analytic improvement factor: {improvement_factor(coverage):,.0f}x "
+          f"(paper: >100x)")
+
+    t6 = compute_table6()
+    print(f"\nTable 6 costs: QRR {t6.qrr.total_area:.1%} area / "
+          f"{t6.qrr.total_power:.1%} power at component level "
+          f"({t6.qrr_chip_area:.2%} / {t6.qrr_chip_power:.2%} chip level); "
+          f"hardening-only would cost {t6.hardening_only_area:.1%} / "
+          f"{t6.hardening_only_power:.1%}")
+
+
+if __name__ == "__main__":
+    main()

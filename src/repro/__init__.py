@@ -1,0 +1,34 @@
+"""Reproduction of "Understanding Soft Errors in Uncore Components".
+
+(Cho, Cher, Shepherd, Mitra -- DAC 2015.)
+
+This package implements, in pure Python, the paper's complete system:
+
+* a flip-flop-accurate RTL modelling kernel (:mod:`repro.rtl`),
+* cycle-level behavioural models of the OpenSPARC T2 uncore components
+  (L2 cache controller, DRAM controller, crossbar, PCI Express
+  controller) in :mod:`repro.uncore`,
+* a small full-system simulator with multi-threaded in-order cores
+  (:mod:`repro.core`, :mod:`repro.system`) standing in for Simics,
+* the mixed-mode co-simulation platform (:mod:`repro.mixedmode`),
+* the soft-error injection methodology (:mod:`repro.injection`),
+* checkpoint-recovery analyses (:mod:`repro.recovery`),
+* the Quick Replay Recovery technique (:mod:`repro.qrr`), and
+* the physical (area/power) cost model (:mod:`repro.physical`).
+
+Quickstart::
+
+    from repro.system import Machine, MachineConfig
+    from repro.workloads import build_workload
+
+    machine = Machine(MachineConfig(cores=2, threads_per_core=2))
+    workload = build_workload("fft", scale=0.05)
+    result = machine.run_workload(workload)
+    print(result.outcome, result.cycles)
+"""
+
+__version__ = "1.0.0"
+
+from repro.soc.geometry import T2_GEOMETRY
+
+__all__ = ["T2_GEOMETRY", "__version__"]

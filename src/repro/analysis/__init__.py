@@ -1,0 +1,23 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from repro.analysis.tables import (
+    table1_highlevel_state,
+    table3_inventory,
+    table4_targets,
+    table5_benchmarks,
+)
+from repro.analysis.figures import (
+    CORE_OMM_RATES,
+    fig3_outcome_rates,
+    fig4_omm_comparison,
+)
+
+__all__ = [
+    "CORE_OMM_RATES",
+    "fig3_outcome_rates",
+    "fig4_omm_comparison",
+    "table1_highlevel_state",
+    "table3_inventory",
+    "table4_targets",
+    "table5_benchmarks",
+]

@@ -1,0 +1,150 @@
+"""Command-line interface for the reproduction.
+
+Usage::
+
+    python -m repro.cli campaign --component l2c --benchmark fft --n 200
+    python -m repro.cli qrr --component mcu --n 50
+    python -m repro.cli tables
+    python -m repro.cli run --benchmark p-wc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import (
+    table1_highlevel_state,
+    table3_inventory,
+    table4_targets,
+    table5_benchmarks,
+)
+from repro.injection.campaign import InjectionCampaign
+from repro.mixedmode.platform import MixedModePlatform
+from repro.qrr.campaign import QrrCampaign
+from repro.system.machine import Machine, MachineConfig
+from repro.system.outcome import OUTCOME_ORDER
+from repro.utils.render import render_table
+from repro.workloads import ALL_BENCHMARKS, build_workload
+
+
+def _machine_config(args) -> MachineConfig:
+    return MachineConfig(
+        cores=args.cores,
+        threads_per_core=args.threads_per_core,
+        l2_banks=8,
+        l2_sets=args.l2_sets,
+        l2_ways=args.l2_ways,
+    )
+
+
+def cmd_run(args) -> int:
+    machine = Machine(_machine_config(args))
+    machine.load_workload(
+        build_workload(
+            args.benchmark,
+            threads=_machine_config(args).total_threads,
+            scale=args.scale,
+            seed=args.seed,
+        ),
+        pcie_input=args.pcie,
+    )
+    result = machine.run()
+    print(
+        f"{args.benchmark}: completed={result.completed} cycles={result.cycles} "
+        f"retired={result.retired} outputs={len(result.output)}"
+    )
+    return 0 if result.completed else 1
+
+
+def cmd_campaign(args) -> int:
+    platform = MixedModePlatform(
+        args.benchmark,
+        machine_config=_machine_config(args),
+        scale=args.scale,
+        seed=args.seed,
+        pcie_input=(args.component == "pcie"),
+    )
+    campaign = InjectionCampaign(platform, args.component, seed=args.seed)
+    result = campaign.run(args.n)
+    headers = ["benchmark"] + [o.value for o in OUTCOME_ORDER] + ["erroneous"]
+    row = result.table.row() + [str(result.table.erroneous)]
+    print(render_table(headers, [row], title=f"{args.component.upper()} campaign"))
+    print(f"persistent runs (excluded from rates): {result.table.persistent}")
+    return 0
+
+
+def cmd_qrr(args) -> int:
+    platform = MixedModePlatform(
+        args.benchmark,
+        machine_config=_machine_config(args),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    campaign = QrrCampaign(platform, args.component)
+    result = campaign.run(args.n, seed=args.seed)
+    print(
+        f"QRR {args.component.upper()}: {result.recovered}/{result.injections} "
+        f"recovered ({result.detected} detected); failures: "
+        f"{result.failures or 'none'}"
+    )
+    return 0 if result.recovered == result.injections else 1
+
+
+def cmd_tables(_args) -> int:
+    for title, fn in (
+        ("Table 1", table1_highlevel_state),
+        ("Table 3", table3_inventory),
+        ("Table 4", table4_targets),
+        ("Table 5", table5_benchmarks),
+    ):
+        headers, rows = fn()
+        print(render_table(headers, rows, title=title))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, benchmark=True):
+        if benchmark:
+            p.add_argument("--benchmark", default="fft", choices=ALL_BENCHMARKS)
+        p.add_argument("--cores", type=int, default=8)
+        p.add_argument("--threads-per-core", type=int, default=4)
+        p.add_argument("--l2-sets", type=int, default=8)
+        p.add_argument("--l2-ways", type=int, default=4)
+        p.add_argument("--scale", type=float, default=1 / 40_000)
+        p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("run", help="run one benchmark error-free")
+    common(p)
+    p.add_argument("--pcie", action="store_true", help="DMA the input file")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("campaign", help="run an injection campaign cell")
+    common(p)
+    p.add_argument("--component", default="l2c",
+                   choices=["l2c", "mcu", "ccx", "pcie"])
+    p.add_argument("--n", type=int, default=100)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("qrr", help="run a QRR effectiveness campaign")
+    common(p)
+    p.add_argument("--component", default="l2c", choices=["l2c", "mcu"])
+    p.add_argument("--n", type=int, default=25)
+    p.set_defaults(func=cmd_qrr)
+
+    p = sub.add_parser("tables", help="print the inventory tables")
+    p.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Processor-core substrate: compact RISC ISA, assembler, core model.
+
+The paper runs SPARC binaries under Simics; this package provides the
+equivalent substrate at reproduction scale -- a small register-machine
+ISA (:mod:`repro.core.isa`), a program builder / assembler
+(:mod:`repro.core.program`) and an in-order, fine-grained multi-threaded
+core model (:mod:`repro.core.cpu`) that produces the same PCX/CPX request
+traffic classes as the OpenSPARC T2 cores.
+"""
+
+from repro.core.isa import Instr, Op, NUM_REGS
+from repro.core.program import Program, ProgramBuilder
+from repro.core.cpu import Core, Thread, ThreadState, Trap, TrapKind
+
+__all__ = [
+    "Core",
+    "Instr",
+    "NUM_REGS",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "Thread",
+    "ThreadState",
+    "Trap",
+    "TrapKind",
+]

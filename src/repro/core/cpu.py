@@ -1,0 +1,485 @@
+"""In-order, fine-grained multi-threaded core model.
+
+Each core holds several hardware threads and a small shared write-through
+L1 data cache (word-granular, direct-mapped).  One instruction issues per
+core per cycle, round-robin over ready threads -- the scheduling
+discipline of the OpenSPARC T2.  Memory traffic leaves the core as PCX
+packets and returns as CPX packets; the machine (or, during
+co-simulation, the RTL uncore model) sits on the other side.
+
+Coherence: the L2 directory sends INVALIDATE packets when another core
+stores to a cached line; atomics bypass the L1 and serialize at the L2
+bank.  Stores are posted (write-through, allocate-on-store into the local
+L1) with a per-thread credit limit; atomics drain the thread's store
+credits first, which gives release-consistency-style ordering across
+banks while plain stores to one bank stay ordered by the bank FIFO.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.isa import NUM_REGS, WORD_MASK, Instr, Op
+from repro.core.program import Program
+from repro.soc.packets import CpxPacket, CpxType, PcxPacket, PcxType
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Maximum posted (un-acknowledged) stores per hardware thread.
+STORE_CREDITS = 8
+
+#: Words per cache line (64B lines, 8B words).
+LINE_WORDS = 8
+
+
+class TrapKind(enum.Enum):
+    """Why a thread trapped (all map to the UT outcome category)."""
+
+    BAD_ADDR = "bad_addr"
+    MISALIGNED = "misaligned"
+    ILLEGAL = "illegal"
+    ASSERT_FAIL = "assert_fail"
+    BAD_PC = "bad_pc"
+
+
+@dataclass(frozen=True)
+class Trap:
+    """Details of a thread trap."""
+
+    kind: TrapKind
+    core: int
+    thread: int
+    pc: int
+    addr: int = 0
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    #: Waiting for a CPX return packet (load/atomic) or for store credits.
+    WAIT_MEM = "wait_mem"
+    #: The uncore refused the request this cycle; retry the instruction.
+    RETRY = "retry"
+    HALTED = "halted"
+    TRAPPED = "trapped"
+
+
+class Thread:
+    """One hardware thread: registers, program counter, stall state."""
+
+    __slots__ = (
+        "core_idx",
+        "thread_idx",
+        "program",
+        "regs",
+        "pc",
+        "state",
+        "wait_reqid",
+        "wait_rd",
+        "stores_inflight",
+        "retired",
+        "trap",
+        "pending_atomic",
+    )
+
+    def __init__(self, core_idx: int, thread_idx: int, program: Program) -> None:
+        self.core_idx = core_idx
+        self.thread_idx = thread_idx
+        self.program = program
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.state = ThreadState.READY
+        self.wait_reqid = -1
+        self.wait_rd = 0
+        self.stores_inflight = 0
+        self.retired = 0
+        self.trap: Trap | None = None
+        #: set when an atomic waits for store-credit drain before issuing
+        self.pending_atomic = False
+
+    def write_reg(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.regs[rd] = value & WORD_MASK
+
+    def snapshot(self) -> dict:
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "state": self.state,
+            "wait_reqid": self.wait_reqid,
+            "wait_rd": self.wait_rd,
+            "stores_inflight": self.stores_inflight,
+            "retired": self.retired,
+            "trap": self.trap,
+            "pending_atomic": self.pending_atomic,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.regs = list(state["regs"])
+        self.pc = state["pc"]
+        self.state = state["state"]
+        self.wait_reqid = state["wait_reqid"]
+        self.wait_rd = state["wait_rd"]
+        self.stores_inflight = state["stores_inflight"]
+        self.retired = state["retired"]
+        self.trap = state["trap"]
+        self.pending_atomic = state["pending_atomic"]
+
+
+class Core:
+    """A multi-threaded core with a shared write-through L1 word cache.
+
+    The machine wires up three callbacks:
+
+    * ``issue_pcx(pkt) -> bool``: hand a request to the uncore; ``False``
+      means back-pressure (retry next cycle).
+    * ``check_addr(addr) -> bool``: core-side address validity (an access
+      outside every allocated region traps, modelling an MMU fault).
+    * ``write_output(slot, value)``: the application output channel.
+    """
+
+    def __init__(
+        self,
+        core_idx: int,
+        l1_words: int = 512,
+        issue_pcx: "Callable[[PcxPacket], bool] | None" = None,
+        check_addr: "Callable[[int], bool] | None" = None,
+        write_output: "Callable[[int, int], None] | None" = None,
+        alloc_reqid: "Callable[[], int] | None" = None,
+    ) -> None:
+        if l1_words & (l1_words - 1):
+            raise ValueError("l1_words must be a power of two")
+        self.core_idx = core_idx
+        self.threads: list[Thread] = []
+        self._rr = 0
+        self._l1_size = l1_words
+        self._l1_tags = [-1] * l1_words
+        self._l1_vals = [0] * l1_words
+        self.issue_pcx = issue_pcx
+        self.check_addr = check_addr
+        self.write_output = write_output
+        self.alloc_reqid = alloc_reqid
+        #: CPX packets that matched no waiting thread (protocol anomalies).
+        self.dropped_cpx = 0
+        #: L1 invalidations processed.
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # L1 cache (word-granular, direct-mapped, write-through)
+    # ------------------------------------------------------------------
+    def _l1_index(self, addr: int) -> int:
+        return (addr >> 3) & (self._l1_size - 1)
+
+    def l1_lookup(self, addr: int) -> int | None:
+        idx = self._l1_index(addr)
+        if self._l1_tags[idx] == addr:
+            return self._l1_vals[idx]
+        return None
+
+    def l1_fill(self, addr: int, value: int) -> None:
+        idx = self._l1_index(addr)
+        self._l1_tags[idx] = addr
+        self._l1_vals[idx] = value & WORD_MASK
+
+    def l1_invalidate_line(self, line_addr: int) -> None:
+        """Drop every word of a 64-byte line from the L1."""
+        base = line_addr & ~63
+        for word in range(LINE_WORDS):
+            addr = base + word * 8
+            idx = self._l1_index(addr)
+            if self._l1_tags[idx] == addr:
+                self._l1_tags[idx] = -1
+        self.invalidations += 1
+
+    def l1_flush(self) -> None:
+        self._l1_tags = [-1] * self._l1_size
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def add_thread(self, program: Program) -> Thread:
+        thread = Thread(self.core_idx, len(self.threads), program)
+        self.threads.append(thread)
+        return thread
+
+    def all_halted(self) -> bool:
+        return all(
+            t.state in (ThreadState.HALTED, ThreadState.TRAPPED) for t in self.threads
+        )
+
+    def any_trapped(self) -> Trap | None:
+        for t in self.threads:
+            if t.trap is not None:
+                return t.trap
+        return None
+
+    # ------------------------------------------------------------------
+    # CPX delivery
+    # ------------------------------------------------------------------
+    def deliver_cpx(self, pkt: CpxPacket) -> None:
+        """Process a return packet addressed to this core.
+
+        A corrupted packet (wrong thread/reqid) that matches no waiting
+        thread is dropped and counted -- the original requester keeps
+        waiting, which is how lost replies turn into Hang outcomes.
+        """
+        if pkt.ctype is CpxType.INVALIDATE:
+            self.l1_invalidate_line(pkt.addr)
+            return
+        if pkt.ctype is CpxType.STORE_ACK:
+            thread_idx = pkt.thread
+            if 0 <= thread_idx < len(self.threads):
+                thread = self.threads[thread_idx]
+                if thread.stores_inflight > 0:
+                    thread.stores_inflight -= 1
+                    return
+            self.dropped_cpx += 1
+            return
+        # LOAD_RET / ATOMIC_RET / IFETCH_RET complete a stalled thread.
+        thread_idx = pkt.thread
+        if 0 <= thread_idx < len(self.threads):
+            thread = self.threads[thread_idx]
+            if (
+                thread.state is ThreadState.WAIT_MEM
+                and not thread.pending_atomic
+                and thread.wait_reqid == pkt.reqid
+            ):
+                thread.write_reg(thread.wait_rd, pkt.data)
+                if pkt.ctype is CpxType.LOAD_RET:
+                    self.l1_fill(pkt.addr, pkt.data)
+                thread.wait_reqid = -1
+                thread.state = ThreadState.READY
+                return
+        self.dropped_cpx += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> bool:
+        """Issue at most one instruction.  Returns True if one retired."""
+        n = len(self.threads)
+        if n == 0:
+            return False
+        for offset in range(n):
+            idx = (self._rr + offset) % n
+            thread = self.threads[idx]
+            if thread.state is ThreadState.WAIT_MEM:
+                if thread.pending_atomic and thread.stores_inflight == 0:
+                    # store credits drained; issue the atomic now
+                    thread.state = ThreadState.RETRY
+                else:
+                    continue
+            if thread.state in (ThreadState.HALTED, ThreadState.TRAPPED):
+                continue
+            self._rr = (idx + 1) % n
+            return self._execute(thread, cycle)
+        return False
+
+    def _trap(self, thread: Thread, kind: TrapKind, addr: int = 0) -> bool:
+        thread.trap = Trap(kind, self.core_idx, thread.thread_idx, thread.pc, addr)
+        thread.state = ThreadState.TRAPPED
+        return False
+
+    def _execute(self, thread: Thread, cycle: int) -> bool:
+        program = thread.program
+        if not 0 <= thread.pc < len(program):
+            return self._trap(thread, TrapKind.BAD_PC)
+        instr: Instr = program[thread.pc]
+        op = instr.op
+        regs = thread.regs
+        thread.state = ThreadState.READY
+        thread.pending_atomic = False
+
+        if op is Op.LD:
+            addr = (regs[instr.ra] + instr.imm) & WORD_MASK
+            if addr & 7:
+                return self._trap(thread, TrapKind.MISALIGNED, addr)
+            if self.check_addr is not None and not self.check_addr(addr):
+                return self._trap(thread, TrapKind.BAD_ADDR, addr)
+            cached = self.l1_lookup(addr)
+            if cached is not None:
+                thread.write_reg(instr.rd, cached)
+                thread.pc += 1
+                thread.retired += 1
+                return True
+            reqid = self.alloc_reqid()
+            pkt = PcxPacket(
+                PcxType.LOAD, self.core_idx, thread.thread_idx, addr, 0, reqid
+            )
+            if not self.issue_pcx(pkt):
+                thread.state = ThreadState.RETRY
+                return False
+            thread.state = ThreadState.WAIT_MEM
+            thread.wait_reqid = reqid
+            thread.wait_rd = instr.rd
+            thread.pc += 1
+            thread.retired += 1
+            return True
+
+        if op is Op.ST:
+            addr = (regs[instr.ra] + instr.imm) & WORD_MASK
+            if addr & 7:
+                return self._trap(thread, TrapKind.MISALIGNED, addr)
+            if self.check_addr is not None and not self.check_addr(addr):
+                return self._trap(thread, TrapKind.BAD_ADDR, addr)
+            if thread.stores_inflight >= STORE_CREDITS:
+                thread.state = ThreadState.RETRY
+                return False
+            reqid = self.alloc_reqid()
+            pkt = PcxPacket(
+                PcxType.STORE,
+                self.core_idx,
+                thread.thread_idx,
+                addr,
+                regs[instr.rb],
+                reqid,
+            )
+            if not self.issue_pcx(pkt):
+                thread.state = ThreadState.RETRY
+                return False
+            # write-through with allocate-on-store into the local L1
+            self.l1_fill(addr, regs[instr.rb])
+            thread.stores_inflight += 1
+            thread.pc += 1
+            thread.retired += 1
+            return True
+
+        if op is Op.TAS or op is Op.FAA:
+            addr = regs[instr.ra] & WORD_MASK
+            if addr & 7:
+                return self._trap(thread, TrapKind.MISALIGNED, addr)
+            if self.check_addr is not None and not self.check_addr(addr):
+                return self._trap(thread, TrapKind.BAD_ADDR, addr)
+            if thread.stores_inflight > 0:
+                # drain posted stores before the atomic (fence semantics)
+                thread.state = ThreadState.WAIT_MEM
+                thread.pending_atomic = True
+                return False
+            reqid = self.alloc_reqid()
+            ptype = PcxType.ATOMIC_TAS if op is Op.TAS else PcxType.ATOMIC_ADD
+            operand = regs[instr.rb] if op is Op.FAA else 0
+            pkt = PcxPacket(
+                ptype, self.core_idx, thread.thread_idx, addr, operand, reqid
+            )
+            if not self.issue_pcx(pkt):
+                thread.state = ThreadState.RETRY
+                return False
+            # atomics bypass the L1; drop any stale local copy
+            idx = self._l1_index(addr)
+            if self._l1_tags[idx] == addr:
+                self._l1_tags[idx] = -1
+            thread.state = ThreadState.WAIT_MEM
+            thread.wait_reqid = reqid
+            thread.wait_rd = instr.rd
+            thread.pc += 1
+            thread.retired += 1
+            return True
+
+        # --- non-memory instructions ------------------------------------
+        if op is Op.LDI:
+            thread.write_reg(instr.rd, instr.imm & WORD_MASK)
+        elif op is Op.ADD:
+            thread.write_reg(instr.rd, regs[instr.ra] + regs[instr.rb])
+        elif op is Op.SUB:
+            thread.write_reg(instr.rd, regs[instr.ra] - regs[instr.rb])
+        elif op is Op.MUL:
+            thread.write_reg(instr.rd, regs[instr.ra] * regs[instr.rb])
+        elif op is Op.AND:
+            thread.write_reg(instr.rd, regs[instr.ra] & regs[instr.rb])
+        elif op is Op.OR:
+            thread.write_reg(instr.rd, regs[instr.ra] | regs[instr.rb])
+        elif op is Op.XOR:
+            thread.write_reg(instr.rd, regs[instr.ra] ^ regs[instr.rb])
+        elif op is Op.SHL:
+            thread.write_reg(instr.rd, regs[instr.ra] << (regs[instr.rb] & 63))
+        elif op is Op.SHR:
+            thread.write_reg(instr.rd, regs[instr.ra] >> (regs[instr.rb] & 63))
+        elif op is Op.CMPLT:
+            thread.write_reg(instr.rd, 1 if regs[instr.ra] < regs[instr.rb] else 0)
+        elif op is Op.ADDI:
+            thread.write_reg(instr.rd, regs[instr.ra] + instr.imm)
+        elif op is Op.MULI:
+            thread.write_reg(instr.rd, regs[instr.ra] * instr.imm)
+        elif op is Op.ANDI:
+            thread.write_reg(instr.rd, regs[instr.ra] & instr.imm)
+        elif op is Op.ORI:
+            thread.write_reg(instr.rd, regs[instr.ra] | instr.imm)
+        elif op is Op.XORI:
+            thread.write_reg(instr.rd, regs[instr.ra] ^ instr.imm)
+        elif op is Op.SHLI:
+            thread.write_reg(instr.rd, regs[instr.ra] << (instr.imm & 63))
+        elif op is Op.SHRI:
+            thread.write_reg(instr.rd, regs[instr.ra] >> (instr.imm & 63))
+        elif op is Op.DIV:
+            if regs[instr.rb] == 0:
+                return self._trap(thread, TrapKind.ILLEGAL)
+            thread.write_reg(instr.rd, regs[instr.ra] // regs[instr.rb])
+        elif op is Op.MOD:
+            if regs[instr.rb] == 0:
+                return self._trap(thread, TrapKind.ILLEGAL)
+            thread.write_reg(instr.rd, regs[instr.ra] % regs[instr.rb])
+        elif op is Op.BEQ:
+            if regs[instr.ra] == regs[instr.rb]:
+                thread.pc = instr.imm
+                thread.retired += 1
+                return True
+        elif op is Op.BNE:
+            if regs[instr.ra] != regs[instr.rb]:
+                thread.pc = instr.imm
+                thread.retired += 1
+                return True
+        elif op is Op.BLT:
+            if regs[instr.ra] < regs[instr.rb]:
+                thread.pc = instr.imm
+                thread.retired += 1
+                return True
+        elif op is Op.BGE:
+            if regs[instr.ra] >= regs[instr.rb]:
+                thread.pc = instr.imm
+                thread.retired += 1
+                return True
+        elif op is Op.JMP:
+            thread.pc = instr.imm
+            thread.retired += 1
+            return True
+        elif op is Op.OUT:
+            self.write_output(regs[instr.ra], regs[instr.rb])
+        elif op is Op.ASSERT_EQ:
+            if regs[instr.ra] != regs[instr.rb]:
+                return self._trap(thread, TrapKind.ASSERT_FAIL)
+        elif op is Op.HALT:
+            thread.state = ThreadState.HALTED
+            thread.retired += 1
+            return True
+        elif op is Op.NOP:
+            pass
+        else:  # pragma: no cover - every Op is handled above
+            return self._trap(thread, TrapKind.ILLEGAL)
+
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "rr": self._rr,
+            "l1_tags": list(self._l1_tags),
+            "l1_vals": list(self._l1_vals),
+            "dropped_cpx": self.dropped_cpx,
+            "invalidations": self.invalidations,
+            "threads": [t.snapshot() for t in self.threads],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._rr = state["rr"]
+        self._l1_tags = list(state["l1_tags"])
+        self._l1_vals = list(state["l1_vals"])
+        self.dropped_cpx = state["dropped_cpx"]
+        self.invalidations = state["invalidations"]
+        for thread, tstate in zip(self.threads, state["threads"]):
+            thread.restore(tstate)

@@ -1,0 +1,15 @@
+"""Soft-error injection campaigns and result aggregation (paper Sec. 3)."""
+
+from repro.injection.campaign import (
+    CampaignResult,
+    InjectionCampaign,
+    OutcomeTable,
+)
+from repro.injection.persistence import PersistenceProbe
+
+__all__ = [
+    "CampaignResult",
+    "InjectionCampaign",
+    "OutcomeTable",
+    "PersistenceProbe",
+]

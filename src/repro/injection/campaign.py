@@ -1,0 +1,118 @@
+"""Injection campaigns over (component x benchmark) cells (Fig. 3).
+
+A campaign runs N independent injections through the mixed-mode platform
+and aggregates the five outcome categories.  Runs whose errors persist in
+microarchitectural state past the co-simulation cap are *not* reported as
+erroneous (paper Sec. 4.2) -- they are tallied separately and fold into
+the Vanished bucket for the Fig. 3 rates, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.mixedmode.platform import InjectionRun, MixedModePlatform
+from repro.system.outcome import OUTCOME_ORDER, Outcome
+from repro.utils.stats import BinomialEstimate
+
+
+@dataclass
+class OutcomeTable:
+    """Outcome counts for one (component, benchmark) campaign cell."""
+
+    component: str
+    benchmark: str
+    counts: dict[Outcome, int] = field(default_factory=dict)
+    persistent: int = 0
+    total: int = 0
+
+    def add(self, run: InjectionRun) -> None:
+        self.total += 1
+        if run.persistent:
+            self.persistent += 1
+            return
+        self.counts[run.outcome] = self.counts.get(run.outcome, 0) + 1
+
+    def rate(self, outcome: Outcome) -> BinomialEstimate:
+        """Rate of one outcome category over all runs.
+
+        Persistent runs count toward the denominator and fold into
+        Vanished (conservative, per the paper).
+        """
+        if self.total == 0:
+            raise ValueError("empty campaign cell")
+        n = self.counts.get(outcome, 0)
+        if outcome is Outcome.VANISHED:
+            n += self.persistent
+        return BinomialEstimate(n, self.total)
+
+    @property
+    def erroneous(self) -> BinomialEstimate:
+        """Probability of a non-Vanished outcome (the paper's headline)."""
+        if self.total == 0:
+            raise ValueError("empty campaign cell")
+        bad = sum(
+            c for o, c in self.counts.items() if o is not Outcome.VANISHED
+        )
+        return BinomialEstimate(bad, self.total)
+
+    def row(self) -> list[str]:
+        """One Fig. 3 row: benchmark + the five category rates."""
+        cells = [self.benchmark]
+        for outcome in OUTCOME_ORDER:
+            cells.append(f"{self.rate(outcome).rate:.2%}")
+        return cells
+
+
+@dataclass
+class CampaignResult:
+    """All runs plus the aggregated table for one campaign cell."""
+
+    table: OutcomeTable
+    runs: list[InjectionRun] = field(default_factory=list)
+
+    def propagation_latencies(self) -> list[int]:
+        """Samples for the Fig. 8 CDF."""
+        return [
+            r.propagation_latency
+            for r in self.runs
+            if r.propagation_latency is not None
+        ]
+
+    def rollback_distances(self) -> list[int]:
+        """Samples for the Fig. 9 CDF."""
+        return [
+            r.rollback_distance
+            for r in self.runs
+            if r.rollback_distance is not None
+        ]
+
+
+class InjectionCampaign:
+    """Runs one (component, benchmark) campaign cell."""
+
+    def __init__(
+        self,
+        platform: MixedModePlatform,
+        component: str,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.component = component
+        self.seed = seed
+
+    def run(self, n_injections: int) -> CampaignResult:
+        rng = random.Random((self.seed << 16) ^ hash(self.component) & 0xFFFF)
+        table = OutcomeTable(self.component, self.platform.benchmark)
+        result = CampaignResult(table)
+        for _ in range(n_injections):
+            cycle, instance, bit = self.platform.sample_injection_point(
+                self.component, rng
+            )
+            run = self.platform.run_injection(
+                self.component, cycle, bit, instance=instance, rng=rng
+            )
+            table.add(run)
+            result.runs.append(run)
+        return result

@@ -1,0 +1,14 @@
+"""Functional memory substrate.
+
+:class:`repro.mem.dram.Dram` models main memory contents (the MCU's
+high-level state of Table 1); :class:`repro.mem.l2state.L2BankState`
+models the architected content of one L2 cache bank (tag array, line
+state bits, data array, L1 directory -- exactly the Table 1 inventory).
+Both are shared between the accelerated-mode functional models and the
+state-transfer logic of the mixed-mode platform.
+"""
+
+from repro.mem.dram import Dram, WriteTrackingPort, divergent_words
+from repro.mem.l2state import L2BankState, L2Line
+
+__all__ = ["Dram", "L2BankState", "L2Line", "WriteTrackingPort", "divergent_words"]

@@ -1,0 +1,30 @@
+"""The mixed-mode simulation platform (the paper's core contribution).
+
+Combines the accelerated mode (high-level full-system simulation,
+Fig. 1a) with co-simulation mode (the target uncore component at RTL,
+lock-stepped against a golden copy, Fig. 1b).  The error-injection
+methodology of Fig. 2 is implemented in
+:class:`repro.mixedmode.platform.MixedModePlatform`.
+"""
+
+from repro.mixedmode.platform import (
+    CosimConfig,
+    CosimResult,
+    InjectionRun,
+    MixedModePlatform,
+)
+from repro.mixedmode.performance import (
+    PerformanceModel,
+    Table2Row,
+    table2_model,
+)
+
+__all__ = [
+    "CosimConfig",
+    "CosimResult",
+    "InjectionRun",
+    "MixedModePlatform",
+    "PerformanceModel",
+    "Table2Row",
+    "table2_model",
+]

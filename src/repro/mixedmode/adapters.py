@@ -1,0 +1,431 @@
+"""Co-simulation adapters (paper Fig. 1b).
+
+An adapter replaces one high-level uncore model inside the machine with
+a pair of RTL instances: the **target** (error-injected, live -- its
+outputs are what the system actually sees) and the **golden** copy
+(identical, receives the same inputs, outputs only compared).  The
+adapter implements the exact server interface of the high-level model it
+replaces, so the machine is oblivious to the swap.
+
+Golden isolation invariants:
+
+* the golden component never writes live memory -- its writebacks land
+  in a private fork of DRAM;
+* the golden component never reads live memory -- fills are served from
+  the fork (so the target's corruption cannot launder the golden copy);
+* both sides run behind write-tracking ports, so memory divergence is
+  detected by comparing the two memories at the union of written
+  addresses only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.dram import WriteTrackingPort
+from repro.rtl.compare import Mismatch
+from repro.soc.packets import CpxPacket, McuReply, McuRequest, McuOp, PcxPacket
+from repro.uncore.ccx import CcxRtl
+from repro.uncore.l2c import L2cRtl
+from repro.uncore.mcu import McuRtl
+from repro.uncore.pcie import PcieRtl
+
+
+@dataclass
+class ComparisonStatus:
+    """Result of one golden-model comparison (Fig. 2, step 7)."""
+
+    mismatches: list[Mismatch] = field(default_factory=list)
+    #: mismatches that can never cause a functional difference (cond. 2)
+    benign: int = 0
+    #: mismatches confined to high-level-mapped state (cond. 1)
+    highlevel: int = 0
+    #: remaining microarchitectural mismatches
+    residual: int = 0
+    #: word addresses where live memory diverged from the golden fork
+    corrupted_words: list[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches and not self.corrupted_words
+
+    @property
+    def exitable(self) -> bool:
+        """Accelerated mode can take over (all mismatches map out)."""
+        return self.residual == 0
+
+
+class CosimAdapterBase:
+    """Shared bookkeeping for all four component adapters."""
+
+    def __init__(self) -> None:
+        #: cycle of the first erroneous output from the target (Fig. 1b,
+        #: item 6) -- return-packet comparison against the golden copy.
+        self.erroneous_output_cycle: "int | None" = None
+        #: the golden copy refused an input the target took (queue
+        #: occupancy divergence); conservatively treated as propagation
+        self.golden_diverged = False
+
+    # -- hooks implemented per component --------------------------------
+    target = None
+    golden = None
+
+    def _note_output_mismatch(self, cycle: int) -> None:
+        if self.erroneous_output_cycle is None:
+            self.erroneous_output_cycle = cycle
+
+    def compare(self) -> ComparisonStatus:
+        status = ComparisonStatus()
+        status.mismatches = self.target.compare(self.golden)
+        for m in status.mismatches:
+            if self.target.is_mismatch_benign(m):
+                status.benign += 1
+            elif self.target.mismatch_maps_to_highlevel(m):
+                status.highlevel += 1
+            else:
+                status.residual += 1
+        status.corrupted_words = self.memory_divergence()
+        return status
+
+    def memory_divergence(self) -> list[int]:
+        """Word addresses where the error corrupted main memory."""
+        return []
+
+    def quiescent(self) -> bool:
+        return self.target.in_flight() == 0
+
+    def flip(self, bit_index: int) -> tuple[str, int, int]:
+        """Inject the bit flip into the target (Fig. 1b, item 4)."""
+        return self.target.flip_target_bit(bit_index)
+
+    def release(self) -> None:
+        """Unswap the adapter WITHOUT state transfer (abandoned runs)."""
+        raise NotImplementedError
+
+
+class L2cCosimAdapter(CosimAdapterBase):
+    """Co-simulates one L2C bank against its golden copy.
+
+    The golden copy's MCU traffic is *slaved* to the target's observed
+    reply timing: the real MCU serves only the target; when a target
+    fill reply arrives, the golden copy receives a reply for the same
+    transaction with data read from the golden memory fork.  This keeps
+    the two copies cycle-aligned without double-loading the real MCU.
+    Target writebacks are applied to live memory immediately (the bank
+    is the only writer of its address range), keeping write visibility
+    symmetric between the two sides.
+    """
+
+    def __init__(self, machine, bank: int) -> None:
+        super().__init__()
+        self.machine = machine
+        self.bank = bank
+        self.hl = machine.l2banks[bank]
+        self.golden_dram = machine.dram.fork()
+        self.target_port = WriteTrackingPort(machine.dram)
+        self.golden_port = WriteTrackingPort(self.golden_dram)
+        self._golden_pending_reads: dict[int, int] = {}
+        amap = machine.amap
+        ways = machine.config.l2_ways
+        self.target = L2cRtl(bank, amap, ways, send_mcu=self._target_mcu)
+        self.golden = L2cRtl(bank, amap, ways, send_mcu=self._golden_mcu)
+        self.target.load_state(machine.l2states[bank])
+        self.golden.load_state(machine.l2states[bank])
+
+    # -- MCU plumbing ----------------------------------------------------
+    def _target_mcu(self, req: McuRequest) -> None:
+        if req.op is McuOp.WRITE:
+            self.target_port.write_line(req.line_addr, req.data)
+        else:
+            self.machine._send_mcu(req)
+
+    def _golden_mcu(self, req: McuRequest) -> None:
+        if req.op is McuOp.WRITE:
+            self.golden_port.write_line(req.line_addr, req.data)
+        else:
+            self._golden_pending_reads[req.tag] = req.line_addr
+
+    # -- server interface --------------------------------------------------
+    def accept(self, pkt: PcxPacket, cycle: int) -> bool:
+        ok = self.target.accept(pkt, cycle)
+        if ok and not self.golden.accept(pkt, cycle):
+            self.golden_diverged = True
+        return ok
+
+    def deliver_mcu_reply(self, reply: McuReply) -> None:
+        self.target.deliver_mcu_reply(reply)
+        addr = self._golden_pending_reads.pop(reply.tag, None)
+        if addr is not None:
+            self.golden.deliver_mcu_reply(
+                McuReply(addr, self.golden_port.read_line(addr), self.bank, reply.tag)
+            )
+
+    def tick(self, cycle: int) -> list[CpxPacket]:
+        out_t = self.target.tick(cycle)
+        out_g = self.golden.tick(cycle)
+        if out_t != out_g:
+            self._note_output_mismatch(cycle)
+        return out_t
+
+    def in_flight(self) -> int:
+        return self.target.in_flight()
+
+    def dma_update(self, addr: int, value: int) -> None:
+        """Coherent DMA update applied to both copies (device writes are
+        error-free input, identical on both sides)."""
+        self.target.dma_update(addr, value)
+        self.golden.dma_update(addr, value)
+
+    # -- platform hooks -------------------------------------------------------
+    def memory_divergence(self) -> list[int]:
+        candidates = self.target_port.written | self.golden_port.written
+        live = self.machine.dram
+        return sorted(
+            a for a in candidates
+            if live.read_word(a) != self.golden_dram.read_word(a)
+        )
+
+    def cache_corruption_words(self) -> list[int]:
+        """Word addresses corrupted inside the architected cache arrays.
+
+        Uses the *golden* copy's tags to name the affected lines (the
+        golden values are the correct ones the application should see).
+        """
+        amap = self.machine.amap
+        words: set[int] = set()
+        t, g = self.target, self.golden
+        for li in range(t.sets * t.ways):
+            set_idx = li // t.ways
+            g_state = g.state_sram.read(li)
+            if not (g_state & 1):
+                continue
+            g_addr = amap.rebuild_addr(g.tag_sram.read(li), set_idx, self.bank)
+            if (
+                t.state_sram.read(li) != g_state
+                or t.tag_sram.read(li) != g.tag_sram.read(li)
+            ):
+                for w in range(8):
+                    words.add(g_addr + 8 * w)
+            elif t.data_sram.read(li) != g.data_sram.read(li):
+                diff = t.data_sram.read(li) ^ g.data_sram.read(li)
+                for w in range(8):
+                    if (diff >> (64 * w)) & ((1 << 64) - 1):
+                        words.add(g_addr + 8 * w)
+        return sorted(words)
+
+    def attach(self) -> None:
+        self.machine.l2banks[self.bank] = self
+
+    def detach(self) -> None:
+        """Transfer the (possibly corrupted) state back (Fig. 2, step 10)."""
+        self.target.extract_state(self.machine.l2states[self.bank])
+        self.machine.l2banks[self.bank] = self.hl
+
+    def release(self) -> None:
+        self.machine.l2banks[self.bank] = self.hl
+
+
+class McuCosimAdapter(CosimAdapterBase):
+    """Co-simulates one MCU against its golden copy.
+
+    The MCU is self-contained (requests in, replies/DRAM traffic out),
+    so the golden copy simply runs on a fork of main memory.
+    """
+
+    def __init__(self, machine, mcu_idx: int) -> None:
+        super().__init__()
+        self.machine = machine
+        self.mcu_idx = mcu_idx
+        self.hl = machine.mcus[mcu_idx]
+        self.golden_dram = machine.dram.fork()
+        self.target_port = WriteTrackingPort(machine.dram)
+        self.golden_port = WriteTrackingPort(self.golden_dram)
+        self.target = McuRtl(mcu_idx, self.target_port)
+        self.golden = McuRtl(mcu_idx, self.golden_port)
+
+    def accept(self, req: McuRequest, cycle: int) -> bool:
+        ok = self.target.accept(req, cycle)
+        if ok and not self.golden.accept(req, cycle):
+            self.golden_diverged = True
+        return ok
+
+    def tick(self, cycle: int) -> None:
+        rep_t = self.target.tick(cycle)
+        rep_g = self.golden.tick(cycle)
+        if rep_t != rep_g:
+            self._note_output_mismatch(cycle)
+        for reply in rep_t:
+            self.machine._route_mcu_reply(reply)
+
+    def in_flight(self) -> int:
+        return self.target.in_flight()
+
+    def memory_divergence(self) -> list[int]:
+        candidates = self.target_port.written | self.golden_port.written
+        live = self.machine.dram
+        return sorted(
+            a for a in candidates
+            if live.read_word(a) != self.golden_dram.read_word(a)
+        )
+
+    def attach(self) -> None:
+        self.machine.mcus[self.mcu_idx] = self
+
+    def detach(self) -> None:
+        self.machine.mcus[self.mcu_idx] = self.hl
+
+    def release(self) -> None:
+        self.machine.mcus[self.mcu_idx] = self.hl
+
+
+class CcxCosimAdapter(CosimAdapterBase):
+    """Co-simulates the crossbar against its golden copy.
+
+    The crossbar holds no architected state (Table 1): its mismatches
+    either vanish as queues drain or manifest as erroneous deliveries.
+    """
+
+    def __init__(self, machine) -> None:
+        super().__init__()
+        self.machine = machine
+        self.hl = machine.ccx
+        self.target = CcxRtl(machine.amap)
+        self.golden = CcxRtl(machine.amap)
+
+    def send_pcx(self, bank: int, pkt: PcxPacket, cycle: int) -> None:
+        self.target.send_pcx(bank, pkt, cycle)
+        self.golden.send_pcx(bank, pkt, cycle)
+
+    def send_cpx(self, pkt: CpxPacket, cycle: int, src: int = 0) -> None:
+        self.target.send_cpx(pkt, cycle, src)
+        self.golden.send_cpx(pkt, cycle, src)
+
+    def tick(self, cycle: int) -> None:
+        self.target.tick(cycle)
+        self.golden.tick(cycle)
+
+    def deliver_pcx(self, cycle: int) -> list[tuple[int, PcxPacket]]:
+        out_t = self.target.deliver_pcx(cycle)
+        out_g = self.golden.deliver_pcx(cycle)
+        if out_t != out_g:
+            self._note_output_mismatch(cycle)
+        return out_t
+
+    def deliver_cpx(self, cycle: int) -> list[CpxPacket]:
+        out_t = self.target.deliver_cpx(cycle)
+        out_g = self.golden.deliver_cpx(cycle)
+        if out_t != out_g:
+            self._note_output_mismatch(cycle)
+        return out_t
+
+    def in_flight(self) -> int:
+        return self.target.in_flight()
+
+    def attach(self) -> None:
+        self.machine.ccx = self
+
+    def detach(self) -> None:
+        self.machine.ccx = self.hl
+
+    def release(self) -> None:
+        self.machine.ccx = self.hl
+
+
+class _CapturePort:
+    """DMA write port that captures the per-tick write stream."""
+
+    def __init__(self, sink_write) -> None:
+        self._sink_write = sink_write
+        self.stream: list[tuple[int, int]] = []
+        self.written: set[int] = set()
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.stream.append((addr & ~7, value))
+        self.written.add(addr & ~7)
+        self._sink_write(addr, value)
+
+    def take(self) -> list[tuple[int, int]]:
+        out = self.stream
+        self.stream = []
+        return out
+
+
+class PcieCosimAdapter(CosimAdapterBase):
+    """Co-simulates the PCIe controller's DMA engine.
+
+    The engine only *writes* (it streams the host-side input file into
+    memory), so golden isolation reduces to capturing both write streams:
+    the target writes through the machine's coherent DMA path, the golden
+    writes into a memory fork.  Diverging streams are erroneous outputs;
+    diverging memories are corruption.
+    """
+
+    def __init__(self, machine) -> None:
+        super().__init__()
+        self.machine = machine
+        self.hl = machine.pcie
+        self.golden_dram = machine.dram.fork()
+        self.target_port = _CapturePort(machine.dma_write_word)
+        self.golden_port = _CapturePort(self.golden_dram.write_word)
+        self.target = PcieRtl(self.target_port)
+        self.golden = PcieRtl(self.golden_port)
+        # transfer the in-progress descriptor state from the high-level model
+        for module in (self.target, self.golden):
+            module.file_words = list(self.hl.file_words)
+            module.dma_dest.write(self.hl.dest_base)
+            module.dma_len.write(len(self.hl.file_words))
+            module.dma_progress.write(self.hl.progress)
+            module.dma_status_addr.write(self.hl.status_addr)
+            module.dma_active.write(1 if self.hl.active else 0)
+            module.start_cycle = self.hl.start_cycle
+            module.finish_cycle = self.hl.finish_cycle
+
+    def begin_transfer(self, *args, **kwargs) -> None:  # pragma: no cover
+        raise RuntimeError("transfers cannot be armed during co-simulation")
+
+    def tick(self, cycle: int) -> None:
+        self.target.tick(cycle)
+        self.golden.tick(cycle)
+        if self.target_port.take() != self.golden_port.take():
+            self._note_output_mismatch(cycle)
+
+    def in_flight(self) -> int:
+        return self.target.in_flight()
+
+    @property
+    def active(self) -> bool:
+        return self.target.active
+
+    def memory_divergence(self) -> list[int]:
+        candidates = self.target_port.written | self.golden_port.written
+        live = self.machine.dram
+        return sorted(
+            a for a in candidates
+            if live.read_word(a) != self.golden_dram.read_word(a)
+        )
+
+    def attach(self) -> None:
+        self.machine.pcie = self
+
+    def detach(self) -> None:
+        """Copy the descriptor state back to the high-level model."""
+        self.hl.progress = self.target.dma_progress.value
+        self.hl.active = bool(self.target.dma_active.value)
+        self.hl.finish_cycle = self.target.finish_cycle
+        self.machine.pcie = self.hl
+
+    def release(self) -> None:
+        self.machine.pcie = self.hl
+
+
+def make_adapter(machine, component: str, instance: int = 0) -> CosimAdapterBase:
+    """Build the co-simulation adapter for one uncore component."""
+    if component == "l2c":
+        return L2cCosimAdapter(machine, instance)
+    if component == "mcu":
+        return McuCosimAdapter(machine, instance)
+    if component == "ccx":
+        return CcxCosimAdapter(machine)
+    if component == "pcie":
+        return PcieCosimAdapter(machine)
+    raise ValueError(f"unknown uncore component {component!r}")

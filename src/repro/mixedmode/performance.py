@@ -1,0 +1,102 @@
+"""Mixed-mode simulation performance model (paper Sec. 2.3, Table 2).
+
+The paper's analytic model of the time to simulate one injection run of
+an application with cycle length L:
+
+* steps 1-2 (snapshot fast-forward): 1M cycles average at 20K cycles/s
+  -> 50 s;
+* steps 3-10 (co-simulation): 10K cycles at 500 cycles/s -> 20 s;
+* steps 11-12 (outcome determination): L/2 cycles for <1% of runs at
+  20K cycles/s -> L/4M seconds;
+* total: 70 + L/4M seconds, so throughput = L / (70 + L/4M) which
+  exceeds 2M cycles/s for L > 280M -- a >20,000x speedup over the
+  ~100 cycles/s of RTL-only simulation of the full OpenSPARC T2.
+
+This module reproduces that arithmetic exactly and can also be populated
+with *measured* step rates from this reproduction's own platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper constants (full-scale OpenSPARC T2 + Simics).
+ACCELERATED_RATE = 20_000.0  # cycles/s, accelerated mode
+COSIM_RATE = 500.0  # cycles/s, co-simulation mode
+FAST_FORWARD_CYCLES = 1_000_000.0  # steps 1-2 average (snapshot spacing)
+COSIM_CYCLES = 10_000.0  # steps 3-10 average
+PHASE3_FRACTION = 0.01  # <1% of runs execute steps 11-12
+RTL_ONLY_RATE = 100.0  # cycles/s, RTL-only simulation [Weaver 08]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2."""
+
+    step: str
+    cycles: float
+    rate: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.rate
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """The paper's analytic throughput model, parameterized."""
+
+    accelerated_rate: float = ACCELERATED_RATE
+    cosim_rate: float = COSIM_RATE
+    fast_forward_cycles: float = FAST_FORWARD_CYCLES
+    cosim_cycles: float = COSIM_CYCLES
+    phase3_fraction: float = PHASE3_FRACTION
+    rtl_only_rate: float = RTL_ONLY_RATE
+
+    def seconds_per_run(self, app_cycles: float) -> float:
+        """Average wall seconds per injection run (Table 2 'Total')."""
+        steps12 = self.fast_forward_cycles / self.accelerated_rate
+        steps310 = self.cosim_cycles / self.cosim_rate
+        steps1112 = (
+            app_cycles / 2.0 * self.phase3_fraction / self.accelerated_rate
+        )
+        return steps12 + steps310 + steps1112
+
+    def throughput(self, app_cycles: float) -> float:
+        """Effective simulated cycles per second for length-L applications."""
+        return app_cycles / self.seconds_per_run(app_cycles)
+
+    def speedup_vs_rtl(self, app_cycles: float) -> float:
+        """Speedup over RTL-only simulation."""
+        return self.throughput(app_cycles) / self.rtl_only_rate
+
+    def crossover_length(self, target_throughput: float = 2_000_000.0) -> float:
+        """Application length above which throughput exceeds the target.
+
+        The paper reports L > 280M cycles for 2M cycles/s.
+        Solving L / (a + bL) = T for L with a = fixed seconds and
+        b = phase-3 seconds per cycle.
+        """
+        a = (
+            self.fast_forward_cycles / self.accelerated_rate
+            + self.cosim_cycles / self.cosim_rate
+        )
+        b = self.phase3_fraction / (2.0 * self.accelerated_rate)
+        denom = 1.0 - target_throughput * b
+        if denom <= 0:
+            raise ValueError("target throughput unreachable")
+        return target_throughput * a / denom
+
+
+def table2_model(app_cycles: float = 400e6) -> list[Table2Row]:
+    """The rows of Table 2 for an application of length ``app_cycles``."""
+    model = PerformanceModel()
+    return [
+        Table2Row("Steps 1-2", model.fast_forward_cycles, model.accelerated_rate),
+        Table2Row("Steps 3-10", model.cosim_cycles, model.cosim_rate),
+        Table2Row(
+            "Steps 11-12",
+            app_cycles / 2.0 * model.phase3_fraction,
+            model.accelerated_rate,
+        ),
+    ]

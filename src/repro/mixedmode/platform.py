@@ -1,0 +1,372 @@
+"""The mixed-mode error-injection platform (paper Sec. 2, Fig. 2).
+
+One :class:`MixedModePlatform` instance owns a machine, a workload, and
+the error-free **golden run** artefacts (output, length, periodic
+snapshots, store log).  Each :meth:`MixedModePlatform.run_injection`
+executes the three phases of Fig. 2:
+
+1. *Prepare*: restore the snapshot preceding the injection cycle, run
+   accelerated to the injection cycle, quiesce the target component,
+   attach the RTL target + golden pair, warm up.
+2. *Inject*: flip the chosen target flip-flop; co-simulate with periodic
+   golden comparison; stop early on Vanished; hand over to accelerated
+   mode once every remaining mismatch maps to high-level state; give up
+   (Persistent) at the co-simulation cycle cap.
+3. *Determine outcome*: continue in accelerated mode to completion and
+   classify against the golden output (ONA / OMM / UT / Hang).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.mixedmode.adapters import (
+    CosimAdapterBase,
+    L2cCosimAdapter,
+    make_adapter,
+)
+from repro.system.machine import Machine, MachineConfig
+from repro.system.outcome import Outcome, classify_outcome
+from repro.workloads import build_workload
+from repro.workloads.base import WorkloadImage
+
+
+@dataclass(frozen=True)
+class CosimConfig:
+    """Co-simulation parameters (paper values, reproduction-scaled).
+
+    Attributes:
+        snapshot_interval: accelerated-mode snapshot period Cf
+            (paper: 2M cycles at full scale).
+        warmup_min / warmup_jitter: warm-up period before injection; the
+            actual period is ``warmup_min + U[0, warmup_jitter)``
+            (paper: at least 1,000 cycles, randomized).
+        check_interval: cycles between golden comparisons.
+        cosim_cycle_cap: co-simulation length limit (paper: 100K cycles;
+            Sec. 4.2 quantifies the cut-off).
+        hang_factor: phase-3 cycle budget as a multiple of the error-free
+            length before declaring a Hang.
+        quiesce_limit: bound on waiting for the component to go idle.
+    """
+
+    snapshot_interval: int = 5_000
+    warmup_min: int = 500
+    warmup_jitter: int = 500
+    check_interval: int = 100
+    cosim_cycle_cap: int = 30_000
+    hang_factor: float = 4.0
+    quiesce_limit: int = 5_000
+
+
+@dataclass
+class GoldenRun:
+    """Artefacts of the error-free reference execution."""
+
+    cycles: int
+    output: dict[int, int]
+    snapshots: dict[int, dict]
+    pcie_window: "tuple[int, int] | None" = None
+
+    def snapshot_at_or_before(self, cycle: int) -> tuple[int, dict]:
+        best = 0
+        for c in self.snapshots:
+            if c <= cycle and c >= best:
+                best = c
+        return best, self.snapshots[best]
+
+
+@dataclass
+class CosimResult:
+    """What happened during the co-simulation window."""
+
+    cosim_cycles: int = 0
+    vanished: bool = False
+    persistent: bool = False
+    propagated_cycle: "int | None" = None
+    corrupted_words: list[int] = field(default_factory=list)
+    residual_at_exit: int = 0
+    ended_by: str = ""
+
+
+@dataclass
+class InjectionRun:
+    """Complete record of one error-injection run."""
+
+    component: str
+    instance: int
+    benchmark: str
+    injection_cycle: int
+    flip_location: tuple[str, int, int]
+    warmup: int
+    outcome: "Outcome | None"
+    persistent: bool
+    cosim: CosimResult
+    #: error-propagation latency to the cores (Fig. 8), if observed
+    propagation_latency: "int | None" = None
+    #: required rollback distance (Fig. 9), if memory was corrupted
+    rollback_distance: "int | None" = None
+    ran_phase3: bool = False
+
+    @property
+    def is_erroneous(self) -> bool:
+        return self.outcome is not None and self.outcome.is_erroneous
+
+
+class MixedModePlatform:
+    """Owns one machine + workload and runs injection experiments."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        machine_config: MachineConfig = MachineConfig(),
+        cosim_config: CosimConfig = CosimConfig(),
+        scale: float = 1.0 / 40_000.0,
+        seed: int = 2015,
+        pcie_input: bool = False,
+        image: "WorkloadImage | None" = None,
+    ) -> None:
+        self.benchmark = benchmark
+        self.machine_config = machine_config
+        self.cosim = cosim_config
+        self.seed = seed
+        self.pcie_input = pcie_input
+        self.image = image if image is not None else build_workload(
+            benchmark, threads=machine_config.total_threads, scale=scale, seed=seed
+        )
+        self.machine = self._fresh_machine()
+        self.golden = self._golden_run()
+
+    # ------------------------------------------------------------------
+    # Golden run (one-time, Sec. 2.2 phase 1 setup)
+    # ------------------------------------------------------------------
+    def _fresh_machine(self) -> Machine:
+        machine = Machine(self.machine_config)
+        machine.load_workload(self.image, pcie_input=self.pcie_input)
+        return machine
+
+    def _golden_run(self) -> GoldenRun:
+        machine = self.machine
+        snapshots = {0: machine.snapshot()}
+        cf = self.cosim.snapshot_interval
+        watchdog = self.machine_config.watchdog_cycles
+        cap = self.machine_config.max_cycles
+        while True:
+            if machine.all_halted():
+                break
+            trap = machine.any_trap()
+            if trap is not None:
+                raise RuntimeError(f"golden run trapped: {trap}")
+            if machine.cycle >= cap:
+                raise RuntimeError("golden run exceeded the cycle cap")
+            if machine.cycle - machine._last_retire_cycle > watchdog:
+                raise RuntimeError("golden run hung")
+            machine.step()
+            if machine.cycle % cf == 0:
+                snapshots[machine.cycle] = machine.snapshot()
+        window = None
+        if self.image.input_file_words is not None and self.pcie_input:
+            window = machine.pcie.transfer_window()
+        return GoldenRun(
+            cycles=machine.cycle,
+            output=dict(machine.output),
+            snapshots=snapshots,
+            pcie_window=window,
+        )
+
+    # ------------------------------------------------------------------
+    # Injection-point sampling
+    # ------------------------------------------------------------------
+    def sample_injection_point(
+        self, component: str, rng: random.Random
+    ) -> tuple[int, int, int]:
+        """Random (injection_cycle, instance, target_bit) for a component.
+
+        PCIe injections fall inside the DMA transfer window (the paper
+        models PCIe transferring the input file); other components sample
+        uniformly over the whole execution.
+        """
+        if component == "pcie":
+            if self.golden.pcie_window is None:
+                raise ValueError(
+                    f"benchmark {self.benchmark!r} has no PCIe input transfer"
+                )
+            lo, hi = self.golden.pcie_window
+            cycle = rng.randrange(max(lo, 1), max(hi, lo + 2))
+            instance = 0
+        else:
+            cycle = rng.randrange(1, max(2, self.golden.cycles - 1))
+            if component == "l2c":
+                instance = rng.randrange(self.machine_config.l2_banks)
+            elif component == "mcu":
+                instance = rng.randrange(self.machine_config.mcus)
+            else:
+                instance = 0
+        from repro.soc.geometry import T2_GEOMETRY
+
+        nbits = T2_GEOMETRY[component].target_ffs
+        return cycle, instance, rng.randrange(nbits)
+
+    # ------------------------------------------------------------------
+    # One injection run (Fig. 2)
+    # ------------------------------------------------------------------
+    def run_injection(
+        self,
+        component: str,
+        injection_cycle: int,
+        target_bit: int,
+        instance: int = 0,
+        warmup: "int | None" = None,
+        rng: "random.Random | None" = None,
+        cosim_cycle_cap: "int | None" = None,
+    ) -> InjectionRun:
+        rng = rng if rng is not None else random.Random(target_bit * 1_000_003)
+        cap = cosim_cycle_cap if cosim_cycle_cap is not None else (
+            self.cosim.cosim_cycle_cap
+        )
+        if warmup is None:
+            warmup = self.cosim.warmup_min + (
+                rng.randrange(self.cosim.warmup_jitter)
+                if self.cosim.warmup_jitter
+                else 0
+            )
+        machine = self.machine
+
+        # ---- phase 1: restore, fast-forward, quiesce, attach, warm up ----
+        _snap_cycle, snap = self.golden.snapshot_at_or_before(injection_cycle)
+        machine.restore(snap)
+        machine.run_until_cycle(injection_cycle)
+        adapter = self._attach_quiesced(component, instance)
+        for _ in range(warmup):
+            machine.step()
+
+        # ---- phase 2: inject and co-simulate ------------------------------
+        flip_loc = adapter.flip(target_bit)
+        inject_abs = machine.cycle
+        cosim = CosimResult()
+        outcome: "Outcome | None" = None
+        ran_phase3 = False
+        error_touched = False
+        check = self.cosim.check_interval
+        while True:
+            steps = min(check, cap - cosim.cosim_cycles)
+            for _ in range(steps):
+                machine.step()
+            cosim.cosim_cycles += steps
+            # a trap during co-simulation ends the run immediately
+            trap = machine.any_trap()
+            if trap is not None:
+                outcome = Outcome.UT
+                cosim.ended_by = "trap_during_cosim"
+                break
+            status = adapter.compare()
+            if adapter.erroneous_output_cycle is not None:
+                cosim.propagated_cycle = adapter.erroneous_output_cycle
+            if (
+                status.residual == 0
+                and status.highlevel == 0
+                and not status.corrupted_words
+                and adapter.erroneous_output_cycle is None
+                and not adapter.golden_diverged
+            ):
+                # no erroneous packet left the component and every
+                # remaining mismatch is benign: the run is guaranteed to
+                # match the error-free outcome (Fig. 2 steps 8-9)
+                cosim.vanished = True
+                outcome = Outcome.VANISHED
+                cosim.ended_by = "vanished"
+                break
+            if status.exitable and adapter.quiescent():
+                cosim.corrupted_words = list(status.corrupted_words)
+                if isinstance(adapter, L2cCosimAdapter):
+                    cosim.corrupted_words = sorted(
+                        set(cosim.corrupted_words)
+                        | set(adapter.cache_corruption_words())
+                    )
+                cosim.residual_at_exit = status.residual
+                error_touched = (
+                    bool(cosim.corrupted_words)
+                    or adapter.erroneous_output_cycle is not None
+                    or adapter.golden_diverged
+                    or status.highlevel > 0
+                )
+                adapter.detach()
+                ran_phase3 = True
+                cosim.ended_by = "handover"
+                break
+            if cosim.cosim_cycles >= cap:
+                cosim.persistent = True
+                cosim.ended_by = "cap"
+                break
+        if not ran_phase3:
+            # abandoned in co-simulation: restore the machine structure
+            # (state is rebuilt from a snapshot on the next run anyway)
+            adapter.release()
+
+        # ---- phase 3: determine the application outcome --------------------
+        if ran_phase3:
+            machine.corrupt_watch = set(cosim.corrupted_words)
+            machine.corrupt_read_cycle = None
+            hang_cap = int(self.golden.cycles * self.cosim.hang_factor) + 50_000
+            result = machine.run(hang_factor_cycles=hang_cap)
+            outcome = classify_outcome(result, self.golden.output, error_touched)
+
+        # ---- measurements ----------------------------------------------------
+        propagation = None
+        if cosim.propagated_cycle is not None:
+            propagation = cosim.propagated_cycle - inject_abs
+        elif ran_phase3 and machine.corrupt_read_cycle is not None:
+            propagation = machine.corrupt_read_cycle - inject_abs
+        rollback = None
+        if cosim.corrupted_words:
+            oldest = min(
+                machine.last_store_cycle.get(w, 0) for w in cosim.corrupted_words
+            )
+            rollback = max(0, inject_abs - oldest)
+
+        return InjectionRun(
+            component=component,
+            instance=instance,
+            benchmark=self.benchmark,
+            injection_cycle=injection_cycle,
+            flip_location=flip_loc,
+            warmup=warmup,
+            outcome=outcome,
+            persistent=cosim.persistent,
+            cosim=cosim,
+            propagation_latency=propagation,
+            rollback_distance=rollback,
+            ran_phase3=ran_phase3,
+        )
+
+    # ------------------------------------------------------------------
+    def _attach_quiesced(self, component: str, instance: int) -> CosimAdapterBase:
+        """Wait for the target component to go idle, then swap in the RTL."""
+        machine = self.machine
+        if component != "pcie":  # the DMA engine is attached mid-transfer
+            for _ in range(self.cosim.quiesce_limit):
+                if self._component_idle(component, instance):
+                    break
+                machine.step()
+        adapter = make_adapter(machine, component, instance)
+        adapter.attach()
+        return adapter
+
+    def _component_idle(self, component: str, instance: int) -> bool:
+        machine = self.machine
+        if component == "l2c":
+            mcu_idx = machine.amap.mcu_of_bank(instance)
+            return (
+                machine.l2banks[instance].in_flight() == 0
+                and not machine._bank_ingress[instance]
+                and machine.mcus[mcu_idx].in_flight() == 0
+                and not machine._mcu_ingress[mcu_idx]
+            )
+        if component == "mcu":
+            return (
+                machine.mcus[instance].in_flight() == 0
+                and not machine._mcu_ingress[instance]
+            )
+        if component == "ccx":
+            return machine.ccx.in_flight() == 0
+        return True

@@ -1,0 +1,10 @@
+"""Physical (area / power) cost model for the protection schemes."""
+
+from repro.physical.costs import (
+    CostModel,
+    ProtectionCosts,
+    Table6,
+    compute_table6,
+)
+
+__all__ = ["CostModel", "ProtectionCosts", "Table6", "compute_table6"]

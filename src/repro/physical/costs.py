@@ -1,0 +1,163 @@
+"""Area / power overhead model for QRR vs. hardening-only (Table 6).
+
+The paper obtains its overheads from Synopsys Design Compiler /
+PrimeTime runs against a commercial 28 nm library -- inputs we cannot
+reproduce offline.  What *is* reproducible is the structure of the
+arithmetic: each technique's cost is proportional to the flip-flop
+population it touches, normalized by the component's gate count, and
+scaled to chip level by the published L2C+MCU share of the chip
+(derived from [Li 13, Jung 14], as the paper does).
+
+The per-flip-flop cost constants below are calibrated once against the
+paper's component-level percentages (they are the model's *inputs*, like
+the library data is for the paper); everything else -- the population
+sizes, the totals, the chip-level numbers, and the QRR-vs-hardening-only
+comparison -- is computed.  The calibration is recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.qrr.coverage import QRR_CONTROLLER_FFS
+from repro.soc.geometry import T2_GEOMETRY
+
+#: Selectively-hardened flip-flop populations (paper Sec. 6.4), per
+#: instance: (timing-critical, configuration).
+HARDENED_PER_INSTANCE = {"l2c": (1_650, 55), "mcu": (36, 309)}
+
+#: Chip-level share of all L2C+MCU instances (area, power), derived from
+#: the published OpenSPARC T2 breakdowns the paper cites [Li 13, Jung 14].
+CHIP_AREA_FRACTION = 0.0723
+CHIP_POWER_FRACTION = 0.1285
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-flip-flop technique costs in gate-equivalents (area) and
+    normalized power units.
+
+    Calibrated against the paper's 28 nm synthesis results:
+
+    * ``parity``: amortized XOR-tree + parity flip-flop + checker per
+      covered flip-flop.
+    * ``harden_selective``: extra area/power of a radiation-hardened
+      (e.g. DICE) flip-flop *placed sparsely* among standard cells --
+      scattered hardened cells pay well/spacing overheads.
+    * ``harden_bulk``: extra cost per flip-flop when the whole component
+      is hardened (amortizes the placement overhead).
+    * ``qrr_controller``: QRR controller + record table, per controller
+      flip-flop (the record table's CAM/ordering logic dominates).
+    """
+
+    parity_area: float = 4.167
+    parity_power: float = 4.462
+    harden_selective_area: float = 11.675
+    harden_selective_power: float = 13.364
+    harden_bulk_area: float = 7.135
+    harden_bulk_power: float = 8.082
+    qrr_controller_area: float = 13.73
+    qrr_controller_power: float = 9.235
+
+
+@dataclass(frozen=True)
+class ProtectionCosts:
+    """Cost breakdown for one protection scheme (fractions of baseline)."""
+
+    parity_area: float
+    parity_power: float
+    hardening_area: float
+    hardening_power: float
+    controller_area: float
+    controller_power: float
+
+    @property
+    def total_area(self) -> float:
+        return self.parity_area + self.hardening_area + self.controller_area
+
+    @property
+    def total_power(self) -> float:
+        return self.parity_power + self.hardening_power + self.controller_power
+
+
+@dataclass(frozen=True)
+class Table6:
+    """The reproduction of Table 6."""
+
+    qrr: ProtectionCosts
+    hardening_only_area: float
+    hardening_only_power: float
+    chip_area_fraction: float = CHIP_AREA_FRACTION
+    chip_power_fraction: float = CHIP_POWER_FRACTION
+
+    @property
+    def qrr_chip_area(self) -> float:
+        """Chip-level area overhead of QRR (paper: 3.32%)."""
+        return self.qrr.total_area * self.chip_area_fraction
+
+    @property
+    def qrr_chip_power(self) -> float:
+        """Chip-level power overhead of QRR (paper: 6.09%)."""
+        return self.qrr.total_power * self.chip_power_fraction
+
+    @property
+    def hardening_only_chip_area(self) -> float:
+        """Chip-level area of hardening everything (paper: 4.34%)."""
+        return self.hardening_only_area * self.chip_area_fraction
+
+    @property
+    def hardening_only_chip_power(self) -> float:
+        """Chip-level power of hardening everything (paper: 8.78%)."""
+        return self.hardening_only_power * self.chip_power_fraction
+
+    @property
+    def area_saving_vs_hardening(self) -> float:
+        """QRR's relative area saving (paper: 23% lower)."""
+        return 1.0 - self.qrr.total_area / self.hardening_only_area
+
+    @property
+    def power_saving_vs_hardening(self) -> float:
+        """QRR's relative power saving (paper: 31% lower)."""
+        return 1.0 - self.qrr.total_power / self.hardening_only_power
+
+
+def _populations() -> dict[str, float]:
+    """Aggregate flip-flop populations over all L2C and MCU instances."""
+    target = 0
+    hardened_sel = 0
+    instances = 0
+    gates = 0
+    for comp in ("l2c", "mcu"):
+        spec = T2_GEOMETRY[comp]
+        timing, config = HARDENED_PER_INSTANCE[comp]
+        target += spec.instances * spec.target_ffs
+        hardened_sel += spec.instances * (timing + config)
+        instances += spec.instances
+        gates += spec.total_gates
+    controller = instances * QRR_CONTROLLER_FFS
+    covered = target - hardened_sel
+    return {
+        "gates": float(gates),
+        "target": float(target),
+        "covered": float(covered),
+        "hardened_sel": float(hardened_sel),
+        "controller": float(controller),
+    }
+
+
+def compute_table6(model: CostModel = CostModel()) -> Table6:
+    """Compute Table 6 from the inventories and the cost model."""
+    pop = _populations()
+    base = pop["gates"]
+    qrr = ProtectionCosts(
+        parity_area=model.parity_area * pop["covered"] / base,
+        parity_power=model.parity_power * pop["covered"] / base,
+        hardening_area=model.harden_selective_area * pop["hardened_sel"] / base,
+        hardening_power=model.harden_selective_power * pop["hardened_sel"] / base,
+        controller_area=model.qrr_controller_area * pop["controller"] / base,
+        controller_power=model.qrr_controller_power * pop["controller"] / base,
+    )
+    hard_area = model.harden_bulk_area * pop["target"] / base
+    hard_power = model.harden_bulk_power * pop["target"] / base
+    return Table6(qrr=qrr, hardening_only_area=hard_area, hardening_only_power=hard_power)

@@ -1,0 +1,120 @@
+"""The QRR record table (paper Sec. 6.1, Fig. "QRR").
+
+The record table keeps every request packet from its acceptance by the
+uncore component until the component has *completely* finished the
+associated operation.  For the L2C that means:
+
+* loads/atomics: until the return packet has left the component;
+* store hits: until the store ack has left;
+* store misses: the ack leaves early, but the entry is kept until the
+  miss-buffer completes the line fill and the data array write (the
+  paper's post-return-packet processing case).
+
+The table maintains a *total order* over incomplete requests -- stricter
+than the bank's native per-line ordering -- so replay reproduces any
+legal serialization (Sec. 6.3 property 2).
+
+Entries additionally remember, for completed-but-undelivered operations
+(the reply was still sitting in the output queue when the error struck),
+the exact return packet, so replay can resend the reply instead of
+re-executing a non-idempotent atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.packets import CpxPacket, PcxPacket, PcxType
+
+#: Record table capacity (paper Fig. "QRR": 32 entries).
+CAPACITY = 32
+
+
+@dataclass
+class RecordEntry:
+    """One incomplete request tracked by the QRR controller."""
+
+    order: int
+    pkt: PcxPacket
+    #: the early store-miss ack has been delivered to the core
+    ack_delivered: bool = False
+    #: the architected effect has been applied (exec stage observed)
+    executed: bool = False
+    #: reply produced at execute time (None for store-miss completion)
+    saved_reply: "CpxPacket | None" = None
+    #: the reply has been delivered to the core
+    reply_delivered: bool = False
+
+    @property
+    def is_store(self) -> bool:
+        return self.pkt.ptype is PcxType.STORE
+
+
+class RecordTable:
+    """Ordered table of incomplete requests (bounded, back-pressuring)."""
+
+    def __init__(self, capacity: int = CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, RecordEntry] = {}
+        self._order = 0
+        #: completion statistics
+        self.recorded = 0
+        self.completed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def record(self, pkt: PcxPacket) -> None:
+        """Track a newly-accepted request."""
+        if self.full:
+            raise RuntimeError("record table overflow (caller must gate accept)")
+        self._order += 1
+        self._entries[pkt.reqid] = RecordEntry(self._order, pkt)
+        self.recorded += 1
+
+    def get(self, reqid: int) -> "RecordEntry | None":
+        return self._entries.get(reqid)
+
+    def mark_executed(self, reqid: int, reply: "CpxPacket | None") -> None:
+        entry = self._entries.get(reqid)
+        if entry is None:
+            return
+        entry.executed = True
+        entry.saved_reply = reply
+        if entry.is_store and entry.ack_delivered:
+            # store miss: ack already out, fill now complete -> done
+            self._delete(reqid)
+        elif entry.is_store and reply is None:
+            # store-miss completion before the ack left: keep until ack
+            pass
+
+    def mark_delivered(self, cpx: CpxPacket) -> None:
+        """A return packet left the component toward the cores."""
+        entry = self._entries.get(cpx.reqid)
+        if entry is None:
+            return
+        if entry.is_store:
+            entry.ack_delivered = True
+            entry.reply_delivered = True
+            if entry.executed:
+                self._delete(cpx.reqid)
+        else:
+            entry.reply_delivered = True
+            if entry.executed:
+                self._delete(cpx.reqid)
+
+    def _delete(self, reqid: int) -> None:
+        if reqid in self._entries:
+            del self._entries[reqid]
+            self.completed += 1
+
+    def incomplete_in_order(self) -> list[RecordEntry]:
+        """All tracked entries, oldest first (the replay sequence)."""
+        return sorted(self._entries.values(), key=lambda e: e.order)
+
+    def clear(self) -> None:
+        self._entries.clear()

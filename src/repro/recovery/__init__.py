@@ -1,0 +1,11 @@
+"""System-level checkpoint-recovery analyses (paper Sec. 5)."""
+
+from repro.recovery.propagation import PropagationAnalysis
+from repro.recovery.rollback import RollbackAnalysis
+from repro.recovery.checkpoint import IncrementalCheckpointModel
+
+__all__ = [
+    "IncrementalCheckpointModel",
+    "PropagationAnalysis",
+    "RollbackAnalysis",
+]

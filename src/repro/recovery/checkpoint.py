@@ -1,0 +1,88 @@
+"""Incremental checkpointing model (paper Sec. 5.2 context).
+
+Models a ReVive/SafetyNet-style incremental checkpoint scheme: every
+``interval`` cycles a checkpoint records the set of memory words the
+cores modified since the previous checkpoint.  Given a run's store log
+the model reports per-checkpoint log sizes and answers the recovery
+question Fig. 9 builds on: how far back must the system roll to find a
+checkpoint whose log can restore a given corrupted word?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckpointStats:
+    """Sizes of the incremental logs over one run."""
+
+    interval: int
+    checkpoints: int
+    mean_words_per_checkpoint: float
+    max_words_per_checkpoint: int
+
+
+class IncrementalCheckpointModel:
+    """Replays a store log through periodic incremental checkpoints.
+
+    Args:
+        store_log: word address -> cycle of the *last* store (the
+            machine's log); for full generality a list of (cycle, addr)
+            events may be supplied instead via :meth:`from_events`.
+        interval: checkpoint period in cycles.
+    """
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        #: checkpoint index -> set of words logged in that interval
+        self._logs: dict[int, set[int]] = {}
+        self._horizon = 0
+
+    def record_store(self, addr: int, cycle: int) -> None:
+        """Feed one store event."""
+        idx = cycle // self.interval
+        self._logs.setdefault(idx, set()).add(addr & ~7)
+        self._horizon = max(self._horizon, cycle)
+
+    @classmethod
+    def from_events(
+        cls, events: list[tuple[int, int]], interval: int
+    ) -> "IncrementalCheckpointModel":
+        """Build from (cycle, addr) store events."""
+        model = cls(interval)
+        for cycle, addr in events:
+            model.record_store(addr, cycle)
+        return model
+
+    def stats(self) -> CheckpointStats:
+        if not self._logs:
+            return CheckpointStats(self.interval, 0, 0.0, 0)
+        sizes = [len(s) for s in self._logs.values()]
+        return CheckpointStats(
+            self.interval,
+            len(self._logs),
+            sum(sizes) / len(sizes),
+            max(sizes),
+        )
+
+    def rollback_for_corruption(self, addr: int, corruption_cycle: int) -> int:
+        """Cycles of rollback needed to recover corrupted word ``addr``.
+
+        The system must restart from a checkpoint taken *before* the last
+        store to ``addr`` (so that replaying the logs regenerates the
+        value); the distance is measured from the corruption instant.
+        If the word was never stored, the whole run must be replayed.
+        """
+        addr &= ~7
+        last_store_idx = -1
+        for idx, words in self._logs.items():
+            if addr in words and idx > last_store_idx:
+                if idx * self.interval <= corruption_cycle:
+                    last_store_idx = idx
+        if last_store_idx < 0:
+            return corruption_cycle  # roll back to the beginning
+        checkpoint_cycle = last_store_idx * self.interval
+        return max(0, corruption_cycle - checkpoint_cycle)

@@ -1,0 +1,31 @@
+"""Flip-flop-accurate RTL modelling kernel.
+
+The paper injects bit flips into individual flip-flops of a target uncore
+component simulated at RTL, while a lock-stepped *golden* copy of the same
+component detects when the error has vanished or has fully propagated
+into architected state.  This package provides the state-element
+primitives (:mod:`repro.rtl.registers`), the module base class with
+flip-flop enumeration, snapshot and bit-flip support
+(:mod:`repro.rtl.module`), and the golden-copy comparator
+(:mod:`repro.rtl.compare`).
+"""
+
+from repro.rtl.registers import (
+    FlipFlopClass,
+    Register,
+    RegisterArray,
+    SramArray,
+)
+from repro.rtl.module import RtlModule
+from repro.rtl.compare import Mismatch, MismatchKind, compare_modules
+
+__all__ = [
+    "FlipFlopClass",
+    "Mismatch",
+    "MismatchKind",
+    "Register",
+    "RegisterArray",
+    "RtlModule",
+    "SramArray",
+    "compare_modules",
+]

@@ -1,0 +1,16 @@
+"""SoC fabric definitions: T2 geometry, packets, physical address map."""
+
+from repro.soc.geometry import ComponentSpec, T2_GEOMETRY, UNCORE_TARGETS
+from repro.soc.packets import CpxPacket, CpxType, PcxPacket, PcxType
+from repro.soc.address import AddressMap
+
+__all__ = [
+    "AddressMap",
+    "ComponentSpec",
+    "CpxPacket",
+    "CpxType",
+    "PcxPacket",
+    "PcxType",
+    "T2_GEOMETRY",
+    "UNCORE_TARGETS",
+]

@@ -1,0 +1,12 @@
+"""Full-system simulator (the accelerated-mode substrate).
+
+:class:`repro.system.machine.Machine` binds the multi-threaded cores, the
+crossbar, the high-level uncore models and DRAM into a cycle-steppable
+SoC, detects the five application outcome categories of Sec. 3.2, and
+supports the snapshots the mixed-mode platform fast-forwards from.
+"""
+
+from repro.system.machine import Machine, MachineConfig
+from repro.system.outcome import Outcome, RunResult, classify_outcome
+
+__all__ = ["Machine", "MachineConfig", "Outcome", "RunResult", "classify_outcome"]

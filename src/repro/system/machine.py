@@ -1,0 +1,417 @@
+"""The full-system machine (accelerated mode, paper Fig. 1a).
+
+Binds cores, crossbar, L2 banks, MCUs, the PCIe DMA engine and DRAM into
+a cycle-steppable SoC.  All uncore components are pluggable: the
+mixed-mode platform swaps a high-level model for an RTL adapter at
+co-simulation entry and back at exit.
+
+The machine also provides the services the analyses need:
+
+* address-validity checking (a corrupted pointer dereference traps,
+  which is how uncore errors become UT outcomes),
+* the application output channel (OMM detection),
+* a per-word last-store log (rollback-distance analysis, Fig. 9),
+* a corrupted-line watch set (error-propagation latency, Fig. 8),
+* whole-machine snapshots (the platform's 2M-cycle checkpoints).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.cpu import Core, ThreadState
+from repro.mem.dram import Dram
+from repro.mem.l2state import L2BankState
+from repro.soc.address import AddressMap
+from repro.soc.packets import CpxPacket, McuReply, McuRequest, PcxPacket
+from repro.system.outcome import RunResult
+from repro.uncore.highlevel.ccx import HighLevelCcx
+from repro.uncore.highlevel.l2c import HighLevelL2Bank
+from repro.uncore.highlevel.mcu import HighLevelMcu
+from repro.uncore.highlevel.pcie import HighLevelPcieDma
+from repro.workloads.base import WorkloadImage
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Machine geometry and timing.
+
+    Defaults are the reproduction-scale configuration: the T2's 8 cores
+    and 8 L2 banks with scaled cache capacities.  Tests use smaller
+    geometries.
+    """
+
+    cores: int = 8
+    threads_per_core: int = 2
+    l1_words: int = 512
+    l2_banks: int = 8
+    l2_sets: int = 32
+    l2_ways: int = 8
+    mcus: int = 4
+    ccx_latency: int = 3
+    #: machine-wide no-retirement window that declares a Hang
+    watchdog_cycles: int = 30_000
+    #: absolute cycle cap (safety net; campaigns also cap at a multiple
+    #: of the error-free length)
+    max_cycles: int = 2_000_000
+
+    @property
+    def total_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+
+class _DmaPort:
+    """Routes PCIe DMA writes through the machine's coherent path."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._machine.dma_write_word(addr, value)
+
+
+class Machine:
+    """A cycle-steppable SoC model."""
+
+    def __init__(self, config: MachineConfig = MachineConfig()) -> None:
+        self.config = config
+        self.amap = AddressMap(
+            l2_banks=config.l2_banks, l2_sets=config.l2_sets, mcus=config.mcus
+        )
+        self.cycle = 0
+        self.dram = Dram()
+        self.output: dict[int, int] = {}
+        self.last_store_cycle: dict[int, int] = {}
+        #: store cycles per word (kept only when rollback analysis is on)
+        self.track_store_log = True
+        self._reqid = 1
+        self._regions: list[tuple[int, int, str]] = []
+        self._region_starts: list[int] = []
+        self._last_retire_cycle = 0
+        self.retired_total = 0
+        #: word addresses known to be corrupted by an injected error;
+        #: first load touching one records the propagation cycle.
+        self.corrupt_watch: set[int] = set()
+        self.corrupt_read_cycle: "int | None" = None
+
+        self.ccx = HighLevelCcx(latency=config.ccx_latency)
+        self.cores: list[Core] = [
+            Core(
+                i,
+                l1_words=config.l1_words,
+                issue_pcx=self._issue_pcx,
+                check_addr=self._check_addr,
+                write_output=self._write_output,
+                alloc_reqid=self._alloc_reqid,
+            )
+            for i in range(config.cores)
+        ]
+        self.l2states: list[L2BankState] = [
+            L2BankState(b, self.amap, ways=config.l2_ways)
+            for b in range(config.l2_banks)
+        ]
+        self.l2banks: list = [
+            HighLevelL2Bank(
+                b,
+                self.l2states[b],
+                send_mcu=self._send_mcu,
+                log_store=self._log_store,
+            )
+            for b in range(config.l2_banks)
+        ]
+        self.mcus: list = [
+            HighLevelMcu(m, self.dram, send_reply=self._route_mcu_reply)
+            for m in range(config.mcus)
+        ]
+        self.pcie = HighLevelPcieDma(_DmaPort(self), log_store=self._log_store)
+        #: per-bank ingress FIFOs preserving arrival order under
+        #: back-pressure (per-bank total order is what TSO and QRR rely on)
+        self._bank_ingress: list[deque[PcxPacket]] = [
+            deque() for _ in range(config.l2_banks)
+        ]
+        self._mcu_ingress: list[deque[McuRequest]] = [
+            deque() for _ in range(config.mcus)
+        ]
+
+    # ------------------------------------------------------------------
+    # Services wired into cores / uncore models
+    # ------------------------------------------------------------------
+    def _alloc_reqid(self) -> int:
+        reqid = self._reqid
+        self._reqid = (self._reqid + 1) & 0xFFFF or 1
+        return reqid
+
+    def _issue_pcx(self, pkt: PcxPacket) -> bool:
+        bank = self.amap.bank_of(pkt.addr)
+        self.ccx.send_pcx(bank, pkt, self.cycle)
+        return True
+
+    def _check_addr(self, addr: int) -> bool:
+        if not self._region_starts:
+            return False
+        idx = bisect.bisect_right(self._region_starts, addr) - 1
+        if idx < 0:
+            return False
+        base, size, _name = self._regions[idx]
+        return base <= addr < base + size
+
+    def _write_output(self, slot: int, value: int) -> None:
+        self.output[slot] = value
+
+    def _log_store(self, word_addr: int, cycle: int) -> None:
+        if self.track_store_log:
+            self.last_store_cycle[word_addr] = cycle
+
+    def _send_mcu(self, req: McuRequest) -> None:
+        # order-preserving per-MCU ingress; drained in step() so a
+        # back-pressuring MCU (RTL request queue full) never loses requests
+        self._mcu_ingress[self.amap.mcu_of_bank(req.src_bank)].append(req)
+
+    def dma_write_word(self, addr: int, value: int) -> None:
+        """Coherent device write (PCIe DMA): memory plus resident L2 copy."""
+        self.dram.write_word(addr, value)
+        bank = self.amap.bank_of(addr)
+        server = self.l2banks[bank]
+        if hasattr(server, "dma_update"):
+            server.dma_update(addr, value)
+
+    def _route_mcu_reply(self, reply: McuReply) -> None:
+        self.l2banks[reply.src_bank].deliver_mcu_reply(reply)
+
+    # ------------------------------------------------------------------
+    # Memory layout
+    # ------------------------------------------------------------------
+    def alloc_region(self, base: int, size: int, name: str) -> None:
+        """Register a valid memory region; overlaps are rejected."""
+        if base & 7 or size <= 0:
+            raise ValueError("regions must be word aligned with positive size")
+        for obase, osize, oname in self._regions:
+            if base < obase + osize and obase < base + size:
+                raise ValueError(f"region {name!r} overlaps {oname!r}")
+        self._regions.append((base, size, name))
+        self._regions.sort()
+        self._region_starts = [r[0] for r in self._regions]
+
+    @property
+    def regions(self) -> list[tuple[int, int, str]]:
+        return list(self._regions)
+
+    # ------------------------------------------------------------------
+    # Workload loading
+    # ------------------------------------------------------------------
+    def load_workload(self, image: WorkloadImage, pcie_input: bool = False) -> None:
+        """Install programs, regions and initial memory.
+
+        With ``pcie_input`` set and an input file present, the file is
+        DMA-transferred by the PCIe model while the application polls the
+        completion flag; otherwise the input region is preloaded directly
+        (the configuration used for L2C/MCU/CCX injection runs).
+        """
+        if image.threads() > self.config.total_threads:
+            raise ValueError(
+                f"workload has {image.threads()} threads; machine supports "
+                f"{self.config.total_threads}"
+            )
+        for base, size, name in image.regions:
+            self.alloc_region(base, size, name)
+        for addr, value in image.init_words.items():
+            self.dram.write_word(addr, value)
+        tpc = self.config.threads_per_core
+        for idx, program in enumerate(image.programs):
+            core = self.cores[idx // tpc]
+            thread = core.add_thread(program)
+            if idx < len(image.thread_regs):
+                for reg, value in image.thread_regs[idx].items():
+                    thread.write_reg(reg, value)
+        if image.input_file_words is not None:
+            if pcie_input:
+                self.pcie.begin_transfer(
+                    image.input_file_words,
+                    image.input_dest,
+                    image.input_status_addr,
+                    cycle=0,
+                )
+            else:
+                for i, word in enumerate(image.input_file_words):
+                    self.dram.write_word(image.input_dest + 8 * i, word)
+                self.dram.write_word(image.input_status_addr, 1)
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole machine by one cycle."""
+        cycle = self.cycle
+        # 1. cores issue
+        retired = 0
+        for core in self.cores:
+            if core.step(cycle):
+                retired += 1
+        if retired:
+            self.retired_total += retired
+            self._last_retire_cycle = cycle
+        # 2. crossbar advances, then delivers toward banks
+        #    (order-preserving per bank)
+        self.ccx.tick(cycle)
+        for bank, pkt in self.ccx.deliver_pcx(cycle):
+            self._bank_ingress[bank].append(pkt)
+        for bank_idx, ingress in enumerate(self._bank_ingress):
+            server = self.l2banks[bank_idx]
+            while ingress:
+                if not server.accept(ingress[0], cycle):
+                    break
+                ingress.popleft()
+        # 3. banks advance; returns go to the crossbar
+        for bank_idx, server in enumerate(self.l2banks):
+            for cpx in server.tick(cycle):
+                self.ccx.send_cpx(cpx, cycle, src=bank_idx)
+        # 4. MCUs accept queued requests and advance
+        #    (replies delivered via _route_mcu_reply)
+        for mcu_idx, mcu in enumerate(self.mcus):
+            ingress = self._mcu_ingress[mcu_idx]
+            while ingress:
+                if not mcu.accept(ingress[0], cycle):
+                    break
+                ingress.popleft()
+            mcu.tick(cycle)
+        # 5. crossbar delivery toward cores
+        for cpx in self.ccx.deliver_cpx(cycle):
+            if self.corrupt_watch and self.corrupt_read_cycle is None:
+                if (cpx.addr & ~7) in self.corrupt_watch and cpx.ctype.name in (
+                    "LOAD_RET",
+                    "ATOMIC_RET",
+                ):
+                    self.corrupt_read_cycle = cycle
+            if 0 <= cpx.core < len(self.cores):
+                self.cores[cpx.core].deliver_cpx(cpx)
+        # 6. PCIe DMA
+        self.pcie.tick(cycle)
+        self.cycle = cycle + 1
+
+    def run(
+        self,
+        max_cycles: "int | None" = None,
+        hang_factor_cycles: "int | None" = None,
+    ) -> RunResult:
+        """Run until completion, trap, hang or the cycle cap.
+
+        ``hang_factor_cycles``, when given, is an absolute cycle count
+        beyond which the run is declared hung (campaigns set it to a
+        multiple of the error-free length).
+        """
+        cap = max_cycles if max_cycles is not None else self.config.max_cycles
+        if hang_factor_cycles is not None:
+            cap = min(cap, hang_factor_cycles)
+        watchdog = self.config.watchdog_cycles
+        while True:
+            done = True
+            for core in self.cores:
+                trap = core.any_trapped()
+                if trap is not None:
+                    return RunResult(
+                        completed=False,
+                        cycles=self.cycle,
+                        output=dict(self.output),
+                        trap=trap,
+                        retired=self.retired_total,
+                    )
+                if not core.all_halted():
+                    done = False
+            if done:
+                self._drain_uncore(limit=10_000)
+                return RunResult(
+                    completed=True,
+                    cycles=self.cycle,
+                    output=dict(self.output),
+                    retired=self.retired_total,
+                )
+            if self.cycle >= cap or self.cycle - self._last_retire_cycle > watchdog:
+                return RunResult(
+                    completed=False,
+                    cycles=self.cycle,
+                    output=dict(self.output),
+                    hung=True,
+                    retired=self.retired_total,
+                )
+            self.step()
+
+    def uncore_idle(self) -> bool:
+        """Whether all uncore components and ingress queues are empty."""
+        if any(self._bank_ingress) or any(self._mcu_ingress):
+            return False
+        if self.ccx.in_flight() or self.pcie.in_flight():
+            return False
+        if any(bank.in_flight() for bank in self.l2banks):
+            return False
+        return not any(mcu.in_flight() for mcu in self.mcus)
+
+    def _drain_uncore(self, limit: int) -> None:
+        """Let posted stores / writebacks / DMA complete after halt."""
+        for _ in range(limit):
+            if self.uncore_idle():
+                return
+            self.step()
+
+    def run_cycles(self, n: int) -> None:
+        """Advance exactly ``n`` cycles (no termination checks)."""
+        for _ in range(n):
+            self.step()
+
+    def run_until_cycle(self, target: int) -> None:
+        """Advance to an absolute cycle count."""
+        while self.cycle < target:
+            self.step()
+
+    def all_halted(self) -> bool:
+        return all(core.all_halted() for core in self.cores)
+
+    def any_trap(self):
+        for core in self.cores:
+            trap = core.any_trapped()
+            if trap is not None:
+                return trap
+        return None
+
+    # ------------------------------------------------------------------
+    # Snapshots (the platform's periodic checkpoints, Sec. 2.2 phase 1)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "dram": self.dram.snapshot(),
+            "output": dict(self.output),
+            "last_store_cycle": dict(self.last_store_cycle),
+            "reqid": self._reqid,
+            "last_retire_cycle": self._last_retire_cycle,
+            "retired_total": self.retired_total,
+            "cores": [core.snapshot() for core in self.cores],
+            "l2banks": [bank.snapshot() for bank in self.l2banks],
+            "mcus": [mcu.snapshot() for mcu in self.mcus],
+            "ccx": self.ccx.snapshot(),
+            "pcie": self.pcie.snapshot(),
+            "bank_ingress": [list(q) for q in self._bank_ingress],
+            "mcu_ingress": [list(q) for q in self._mcu_ingress],
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.cycle = snap["cycle"]
+        self.dram.restore(snap["dram"])
+        self.output = dict(snap["output"])
+        self.last_store_cycle = dict(snap["last_store_cycle"])
+        self._reqid = snap["reqid"]
+        self._last_retire_cycle = snap["last_retire_cycle"]
+        self.retired_total = snap["retired_total"]
+        for core, cstate in zip(self.cores, snap["cores"]):
+            core.restore(cstate)
+        for bank, bstate in zip(self.l2banks, snap["l2banks"]):
+            bank.restore(bstate)
+        for mcu, mstate in zip(self.mcus, snap["mcus"]):
+            mcu.restore(mstate)
+        self.ccx.restore(snap["ccx"])
+        self.pcie.restore(snap["pcie"])
+        self._bank_ingress = [deque(q) for q in snap["bank_ingress"]]
+        self._mcu_ingress = [deque(q) for q in snap["mcu_ingress"]]
+        self.corrupt_watch = set()
+        self.corrupt_read_cycle = None

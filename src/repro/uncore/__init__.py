@@ -1,0 +1,24 @@
+"""Uncore component models.
+
+Two model families exist for every studied component:
+
+* **High-level models** (:mod:`repro.uncore.highlevel`) carry only the
+  architected state of Table 1 and run in the accelerated mode.
+* **RTL models** (:mod:`repro.uncore.l2c`, :mod:`repro.uncore.mcu`,
+  :mod:`repro.uncore.ccx`, :mod:`repro.uncore.pcie`) model every
+  flip-flop (Table 3 / Table 4 inventory) and run in co-simulation mode.
+"""
+
+from repro.uncore.highlevel import (
+    HighLevelCcx,
+    HighLevelL2Bank,
+    HighLevelMcu,
+    HighLevelPcieDma,
+)
+
+__all__ = [
+    "HighLevelCcx",
+    "HighLevelL2Bank",
+    "HighLevelMcu",
+    "HighLevelPcieDma",
+]

@@ -1,0 +1,18 @@
+"""Accelerated-mode functional uncore models (paper Fig. 1a).
+
+Under error-free conditions these models produce the same return packets
+to the processor cores as the RTL uncore components; they carry exactly
+the architected "high-level uncore state" listed in Table 1.
+"""
+
+from repro.uncore.highlevel.l2c import HighLevelL2Bank
+from repro.uncore.highlevel.mcu import HighLevelMcu
+from repro.uncore.highlevel.ccx import HighLevelCcx
+from repro.uncore.highlevel.pcie import HighLevelPcieDma
+
+__all__ = [
+    "HighLevelCcx",
+    "HighLevelL2Bank",
+    "HighLevelMcu",
+    "HighLevelPcieDma",
+]

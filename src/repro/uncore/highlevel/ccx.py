@@ -1,0 +1,78 @@
+"""Functional (high-level) model of the crossbar interconnect (CCX).
+
+The crossbar only delivers packets between processor cores and L2 cache
+banks; it has *no* high-level uncore state in Table 1 (footnote 4: its
+state can be reconstructed in co-simulation mode).  The accelerated-mode
+model is therefore a pair of fixed-latency delivery pipes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.soc.packets import CpxPacket, PcxPacket
+
+#: One-way crossbar traversal latency, in cycles.
+CCX_LATENCY = 3
+
+
+class HighLevelCcx:
+    """Fixed-latency PCX/CPX delivery between cores and L2 banks."""
+
+    def __init__(self, latency: int = CCX_LATENCY) -> None:
+        if latency < 1:
+            raise ValueError("latency must be at least 1 cycle")
+        self.latency = latency
+        self._pcx: deque[tuple[int, int, PcxPacket]] = deque()  # (ready, bank, pkt)
+        self._cpx: deque[tuple[int, CpxPacket]] = deque()  # (ready, pkt)
+        self.pcx_delivered = 0
+        self.cpx_delivered = 0
+
+    def send_pcx(self, bank: int, pkt: PcxPacket, cycle: int) -> None:
+        """Core-side ingress toward L2 bank ``bank``."""
+        self._pcx.append((cycle + self.latency, bank, pkt))
+
+    def send_cpx(self, pkt: CpxPacket, cycle: int, src: int = 0) -> None:
+        """Bank-side ingress toward core ``pkt.core``.
+
+        ``src`` is the sending L2 bank; the fixed-latency model ignores
+        it, the RTL crossbar uses it as the ingress port.
+        """
+        self._cpx.append((cycle + self.latency, pkt))
+
+    def tick(self, cycle: int) -> None:
+        """No per-cycle work in the fixed-latency model."""
+
+    def deliver_pcx(self, cycle: int) -> list[tuple[int, PcxPacket]]:
+        """Packets reaching the L2 banks this cycle: (bank, pkt)."""
+        out = []
+        while self._pcx and self._pcx[0][0] <= cycle:
+            _ready, bank, pkt = self._pcx.popleft()
+            out.append((bank, pkt))
+            self.pcx_delivered += 1
+        return out
+
+    def deliver_cpx(self, cycle: int) -> list[CpxPacket]:
+        """Packets reaching the cores this cycle."""
+        out = []
+        while self._cpx and self._cpx[0][0] <= cycle:
+            out.append(self._cpx.popleft()[1])
+            self.cpx_delivered += 1
+        return out
+
+    def in_flight(self) -> int:
+        return len(self._pcx) + len(self._cpx)
+
+    def snapshot(self) -> dict:
+        return {
+            "pcx": list(self._pcx),
+            "cpx": list(self._cpx),
+            "pcx_delivered": self.pcx_delivered,
+            "cpx_delivered": self.cpx_delivered,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._pcx = deque(snap["pcx"])
+        self._cpx = deque(snap["cpx"])
+        self.pcx_delivered = snap["pcx_delivered"]
+        self.cpx_delivered = snap["cpx_delivered"]

@@ -1,0 +1,77 @@
+"""Functional (high-level) model of one DRAM controller (MCU).
+
+The high-level MCU state is simply the DRAM contents (Table 1).  Requests
+from the two L2 banks it serves are queued and answered after a fixed
+access latency; writebacks are posted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.soc.packets import McuOp, McuReply, McuRequest
+
+#: DRAM access latency (queue head to data back at the L2), in cycles.
+DRAM_LATENCY = 60
+#: Request queue capacity.
+QUEUE_DEPTH = 16
+
+
+class HighLevelMcu:
+    """Accelerated-mode model of one MCU instance.
+
+    Args:
+        mcu_idx: controller index (0..3).
+        dram: the DRAM port (anything with ``read_line`` / ``write_line``).
+        send_reply: callback delivering :class:`McuReply` back to an
+            L2 bank (routed by ``src_bank``).
+    """
+
+    def __init__(
+        self,
+        mcu_idx: int,
+        dram,
+        send_reply: Callable[[McuReply], None],
+    ) -> None:
+        self.mcu_idx = mcu_idx
+        self.dram = dram
+        self.send_reply = send_reply
+        #: (ready_cycle, request) in FIFO order.
+        self._queue: deque[tuple[int, McuRequest]] = deque()
+        self.reads = 0
+        self.writes = 0
+
+    def accept(self, req: McuRequest, cycle: int) -> bool:
+        """Enqueue a request (the L2-side credit scheme bounds depth)."""
+        self._queue.append((cycle + DRAM_LATENCY, req))
+        return True
+
+    def tick(self, cycle: int) -> None:
+        """Complete every request whose latency has elapsed."""
+        while self._queue and self._queue[0][0] <= cycle:
+            _ready, req = self._queue.popleft()
+            if req.op is McuOp.READ:
+                self.reads += 1
+                data = self.dram.read_line(req.line_addr)
+                self.send_reply(
+                    McuReply(req.line_addr, data, req.src_bank, req.tag)
+                )
+            else:
+                self.writes += 1
+                self.dram.write_line(req.line_addr, req.data)
+
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+    def snapshot(self) -> dict:
+        return {
+            "queue": list(self._queue),
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._queue = deque(snap["queue"])
+        self.reads = snap["reads"]
+        self.writes = snap["writes"]

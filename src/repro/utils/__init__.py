@@ -1,0 +1,19 @@
+"""Shared utilities: statistics, CDF helpers, RNG streams, rendering."""
+
+from repro.utils.cdf import Cdf
+from repro.utils.rng import RngFactory
+from repro.utils.stats import (
+    BinomialEstimate,
+    normal_ci_halfwidth,
+    required_samples,
+    wilson_interval,
+)
+
+__all__ = [
+    "BinomialEstimate",
+    "Cdf",
+    "RngFactory",
+    "normal_ci_halfwidth",
+    "required_samples",
+    "wilson_interval",
+]

@@ -1,0 +1,83 @@
+"""Empirical cumulative distributions.
+
+Figures 6, 8 and 9 of the paper are CDFs over cycle counts plotted on a
+log-decade x axis.  :class:`Cdf` collects samples and evaluates the CDF at
+the decade boundaries those figures use.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Sequence
+
+
+class Cdf:
+    """An empirical CDF over non-negative sample values.
+
+    Samples may be added incrementally; evaluation sorts lazily.
+    """
+
+    def __init__(self, samples: Iterable[float] = ()) -> None:
+        self._samples: list[float] = []
+        self._sorted = False
+        self.extend(samples)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        if value < 0:
+            raise ValueError("Cdf samples must be non-negative")
+        self._samples.append(value)
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def fraction_at_most(self, x: float) -> float:
+        """P(sample <= x).  Returns 0.0 for an empty CDF."""
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        return bisect.bisect_right(self._samples, x) / len(self._samples)
+
+    def fraction_greater(self, x: float) -> float:
+        """P(sample > x) -- the survival function."""
+        return 1.0 - self.fraction_at_most(x)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF.  ``q`` must be in [0, 1]; the CDF must be non-empty."""
+        if not self._samples:
+            raise ValueError("quantile of an empty Cdf")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        self._ensure_sorted()
+        if q == 0.0:
+            return self._samples[0]
+        idx = max(0, min(len(self._samples) - 1, int(q * len(self._samples)) - 0))
+        idx = min(len(self._samples) - 1, max(0, round(q * (len(self._samples) - 1))))
+        return self._samples[idx]
+
+    def at_decades(self, max_exponent: int = 9) -> list[tuple[float, float]]:
+        """Evaluate the CDF at 1, 10, 100, ... 10**max_exponent.
+
+        Returns ``[(x, P(sample <= x)), ...]`` -- the series plotted on the
+        paper's log-decade axes (Figs. 6, 8, 9).
+        """
+        return [
+            (float(10**e), self.fraction_at_most(float(10**e)))
+            for e in range(max_exponent + 1)
+        ]
+
+    def series(self) -> Sequence[float]:
+        """The sorted sample values."""
+        self._ensure_sorted()
+        return tuple(self._samples)

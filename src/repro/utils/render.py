@@ -1,0 +1,74 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints every reproduced table and figure as ASCII so
+that results are inspectable without a plotting stack (none is available
+offline).  Rows and series mirror the layout of the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with column alignment.
+
+    ``rows`` cells are converted with ``str``; numeric cells are
+    right-aligned, text left-aligned.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in cells:
+        if len(row) != ncols:
+            raise ValueError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace("%", "").replace(",", "").replace("x", "")
+        try:
+            float(stripped)
+            return True
+        except ValueError:
+            return False
+
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        parts = []
+        for cell, width in zip(row, widths):
+            parts.append(cell.rjust(width) if is_numeric(cell) else cell.ljust(width))
+        lines.append(" | ".join(parts))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Sequence[tuple[float, float]],
+    y_format: str = "{:.2%}",
+    x_format: str = "{:g}",
+) -> str:
+    """Render one figure series as ``x -> y`` lines with a sparkline bar."""
+    lines = [name]
+    max_y = max((y for _, y in points), default=1.0) or 1.0
+    for x, y in points:
+        bar = "#" * int(round(40 * y / max_y))
+        lines.append(
+            f"  {x_format.format(x):>12} | {y_format.format(y):>9} | {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

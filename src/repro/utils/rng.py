@@ -1,0 +1,35 @@
+"""Deterministic, independent random streams.
+
+Injection campaigns must be reproducible and parallel-safe: every
+injection run derives its own stream from (campaign seed, run index), so
+re-running any single run in isolation reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RngFactory:
+    """Spawns named, independent :class:`random.Random` streams.
+
+    Two factories with the same root seed produce identical streams for
+    identical keys, regardless of the order streams are requested in.
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self._root_seed = int(root_seed)
+
+    @property
+    def root_seed(self) -> int:
+        return self._root_seed
+
+    def stream(self, *key: object) -> random.Random:
+        """Return a fresh RNG determined by ``(root_seed, *key)``."""
+        material = (self._root_seed,) + tuple(str(k) for k in key)
+        return random.Random(hash(material) & 0xFFFF_FFFF_FFFF_FFFF)
+
+    def child(self, *key: object) -> "RngFactory":
+        """Derive a sub-factory (e.g. one per benchmark application)."""
+        material = (self._root_seed,) + tuple(str(k) for k in key)
+        return RngFactory(hash(material) & 0xFFFF_FFFF_FFFF_FFFF)

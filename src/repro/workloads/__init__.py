@@ -1,0 +1,27 @@
+"""Benchmark workload analogues (paper Table 5).
+
+Six SPLASH-2, nine PARSEC-2.1 and three Phoenix MapReduce applications,
+re-expressed for the reproduction ISA with the paper's relative lengths,
+input-file presence/sizes and synchronization character preserved.
+"""
+
+from repro.workloads.base import WorkloadImage, WorkloadMeta
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    DEFAULT_SCALE,
+    PCIE_BENCHMARKS,
+    REGISTRY,
+    build_workload,
+    workload_meta,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "DEFAULT_SCALE",
+    "PCIE_BENCHMARKS",
+    "REGISTRY",
+    "WorkloadImage",
+    "WorkloadMeta",
+    "build_workload",
+    "workload_meta",
+]

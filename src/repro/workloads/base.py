@@ -1,0 +1,69 @@
+"""Workload abstractions.
+
+A :class:`WorkloadImage` is everything the machine needs to run one
+benchmark: per-thread programs, memory regions, initial memory contents
+and (for the twelve applications with input data files, Table 5) the
+input file to be DMA-transferred through the PCIe controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.program import Program
+
+
+@dataclass(frozen=True)
+class WorkloadMeta:
+    """Table 5 metadata for one benchmark application.
+
+    Attributes:
+        name: full benchmark name.
+        short: the paper's abbreviation (e.g. ``barn``).
+        suite: SPLASH-2, PARSEC-2.1 or Phoenix MapReduce.
+        paper_cycles: error-free execution length reported in Table 5.
+        input_file_bytes: input data file size from Table 5 (0 = none).
+    """
+
+    name: str
+    short: str
+    suite: str
+    paper_cycles: int
+    input_file_bytes: int
+
+    @property
+    def has_input_file(self) -> bool:
+        return self.input_file_bytes > 0
+
+
+@dataclass
+class WorkloadImage:
+    """A fully-built workload ready to load into a machine.
+
+    Attributes:
+        name: benchmark short name.
+        programs: one program per hardware thread (machine order:
+            core-major, thread-minor).
+        regions: allocated memory regions ``(base, size_bytes, name)``;
+            accesses outside them trap.
+        init_words: initial memory contents (word addr -> value).
+        thread_regs: initial register values per thread (reg -> value).
+        input_file_words: input-file payload for PCIe DMA, or None.
+        input_dest: DRAM base the file lands at.
+        input_status_addr: completion flag word the application polls.
+        expected_output: golden output if known statically (else None;
+            determined by an error-free run).
+    """
+
+    name: str
+    programs: list[Program]
+    regions: list[tuple[int, int, str]] = field(default_factory=list)
+    init_words: dict[int, int] = field(default_factory=dict)
+    thread_regs: list[dict[int, int]] = field(default_factory=list)
+    input_file_words: "list[int] | None" = None
+    input_dest: "int | None" = None
+    input_status_addr: "int | None" = None
+    expected_output: "dict[int, int] | None" = None
+
+    def threads(self) -> int:
+        return len(self.programs)

@@ -1,0 +1,121 @@
+"""Reusable program fragments shared by the benchmark analogues.
+
+Register conventions across all workloads:
+
+* ``r15`` = hardware-thread id, ``r14`` = thread count (preset by the
+  image loader); kernels treat them as read-only.
+* ``r0`` is hardwired zero.
+* Helpers document which scratch registers they clobber.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import ProgramBuilder
+from repro.workloads.layout import INPUT_STATUS_ADDR
+
+#: 64-bit LCG constants (Knuth MMIX).
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+
+
+def wait_for_input(b: ProgramBuilder, r_addr: int, r_val: int) -> None:
+    """Spin until the PCIe DMA completion flag is set.
+
+    The read is an atomic fetch-and-add of zero so it always observes L2
+    state (never a stale L1 word).  Clobbers ``r_addr`` and ``r_val``.
+    """
+    b.ldi(r_addr, INPUT_STATUS_ADDR)
+    wait = b.label(f"_input{b.here}")
+    b.place(wait)
+    b.ldi(r_val, 0)
+    b.faa(r_val, r_addr, r_val)
+    b.beq(r_val, 0, wait)
+
+
+def thread_chunk(
+    b: ProgramBuilder, total: int, r_start: int, r_end: int, r_tmp: int
+) -> None:
+    """Compute this thread's [start, end) slice of ``total`` items.
+
+    start = tid * (total / nthreads), end = start + chunk (last thread
+    takes the remainder).  Clobbers the three given registers.
+    """
+    b.ldi(r_tmp, total)
+    b.div(r_tmp, r_tmp, 14)  # chunk = total / nthreads
+    b.mul(r_start, r_tmp, 15)  # start = chunk * tid
+    b.add(r_end, r_start, r_tmp)
+    # last thread: end = total
+    b.addi(r_tmp, 15, 1)
+    done = b.label(f"_chunk{b.here}")
+    b.bne(r_tmp, 14, done)
+    b.ldi(r_end, total)
+    b.place(done)
+
+
+def lcg_step(b: ProgramBuilder, r_state: int, r_tmp: int) -> None:
+    """Advance a 64-bit LCG in ``r_state``.  Clobbers ``r_tmp``."""
+    b.ldi(r_tmp, LCG_MUL)
+    b.mul(r_state, r_state, r_tmp)
+    b.ldi(r_tmp, LCG_ADD)
+    b.add(r_state, r_state, r_tmp)
+
+
+def checksum_loop(
+    b: ProgramBuilder,
+    base: int,
+    r_idx: int,
+    r_end: int,
+    r_acc: int,
+    r_addr: int,
+    r_val: int,
+) -> None:
+    """acc = fold of mem[base + 8*i] for i in [idx, end).
+
+    The fold is ``acc = acc*3 + value`` so word order matters (catches
+    swapped data, not just missing data).  ``r_idx`` is consumed;
+    clobbers ``r_addr`` and ``r_val``.
+    """
+    loop = b.label(f"_ck{b.here}")
+    done = b.label(f"_ckdone{b.here}")
+    b.place(loop)
+    b.bge(r_idx, r_end, done)
+    b.shli(r_addr, r_idx, 3)
+    b.addi(r_addr, r_addr, base)
+    b.ld(r_val, r_addr, 0)
+    b.muli(r_acc, r_acc, 3)
+    b.add(r_acc, r_acc, r_val)
+    b.addi(r_idx, r_idx, 1)
+    b.jmp(loop)
+    b.place(done)
+
+
+def out_slot(b: ProgramBuilder, slot: int, r_val: int, r_tmp: int) -> None:
+    """Write ``r_val`` to constant output slot ``slot``."""
+    b.ldi(r_tmp, slot)
+    b.out(r_tmp, r_val)
+
+
+def reduce_add(
+    b: ProgramBuilder,
+    lock_addr: int,
+    cell_addr: int,
+    r_val: int,
+    r_addr: int,
+    r_tmp: int,
+) -> None:
+    """Lock-protected ``mem[cell] += r_val``.  Clobbers r_addr, r_tmp."""
+    b.ldi(r_addr, lock_addr)
+    b.spin_lock(r_addr, r_tmp)
+    b.ldi(r_addr, cell_addr)
+    b.ld(r_tmp, r_addr, 0)
+    b.add(r_tmp, r_tmp, r_val)
+    b.st(r_tmp, r_addr, 0)
+    b.ldi(r_addr, lock_addr)
+    b.spin_unlock(r_addr)
+
+
+def atomic_read(b: ProgramBuilder, addr: int, r_dst: int, r_addr: int) -> None:
+    """r_dst = mem[addr] via FAA(0) -- always observes L2 state."""
+    b.ldi(r_addr, addr)
+    b.ldi(r_dst, 0)
+    b.faa(r_dst, r_addr, r_dst)

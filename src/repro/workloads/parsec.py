@@ -1,0 +1,644 @@
+"""PARSEC-2.1 benchmark analogues (Table 5, middle block).
+
+Facesim and PARSEC's raytrace are excluded exactly as in the paper
+(Sec. 3.2 footnote 8).  The nine analogues span the suite's behaviour
+space: embarrassingly-parallel data kernels (blackscholes, swaptions),
+pipeline parallelism with software queues (ferret), fine-grained
+lock-per-cell structures with pointer indirection (fluidanimate), and
+barrier-phased streaming kernels (vips, streamcluster, bodytrack, x264,
+freqmine).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.program import ProgramBuilder
+from repro.workloads.base import WorkloadImage
+from repro.workloads.kernels import (
+    atomic_read,
+    checksum_loop,
+    lcg_step,
+    out_slot,
+    reduce_add,
+    thread_chunk,
+    wait_for_input,
+)
+from repro.workloads.layout import ImageBuilder
+from repro.workloads.splash2 import _input_words
+
+
+def build_blackscholes(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Blackscholes analogue: independent per-option pricing over input."""
+    ib = ImageBuilder("blsc", threads)
+    iw = max(96, work // 60)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    options = max(threads * 4, min(4096, work // 22))
+    prices = ib.alloc("prices", options)
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"blsc.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, options, 1, 2, 3)
+        b.ldi(12, 0)  # price accumulator
+        b.add(3, 1, 0)
+        loop = b.label("opt")
+        done = b.label("optd")
+        b.place(loop)
+        b.bge(3, 2, done)
+        # three input fields per option (spot, strike, vol analogues)
+        for field in range(3):
+            b.muli(4, 3, 3)
+            b.addi(4, 4, field)
+            b.ldi(5, iw)
+            b.mod(4, 4, 5)
+            b.shli(4, 4, 3)
+            b.addi(4, 4, input_base)
+            b.ld(6 + field, 4, 0)
+        # integer Black-Scholes-flavoured mix
+        b.mul(9, 6, 7)
+        b.shri(9, 9, 16)
+        b.add(9, 9, 8)
+        b.mul(9, 9, 9)
+        b.shri(9, 9, 24)
+        b.shli(4, 3, 3)
+        b.addi(4, 4, prices)
+        b.st(9, 4, 0)
+        b.add(12, 12, 9)
+        b.addi(3, 3, 1)
+        b.jmp(loop)
+        b.place(done)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_bodytrack(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Bodytrack analogue: particle scoring stages with global-best reduce."""
+    ib = ImageBuilder("body", threads)
+    iw = max(96, work // 70)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    particles = max(threads * 4, min(4096, work // 40))
+    weights = ib.alloc("weights", particles)
+    best = ib.global_word("best_score")
+    block = ib.lock_word("best")
+    stages = 2
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"body.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, particles, 1, 2, 3)
+        for stage in range(stages):
+            atomic_read(b, best, 11, 3)
+            b.add(3, 1, 0)
+            loop = b.label(f"sc{stage}")
+            done = b.label(f"scd{stage}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            # score = window of three input samples + previous best
+            b.ldi(12, 0)
+            for w in range(3):
+                b.muli(4, 3, 7)
+                b.addi(4, 4, w + stage)
+                b.ldi(5, iw)
+                b.mod(4, 4, 5)
+                b.shli(4, 4, 3)
+                b.addi(4, 4, input_base)
+                b.ld(6, 4, 0)
+                b.andi(6, 6, 0xFFFFFF)
+                b.add(12, 12, 6)
+            b.add(12, 12, 11)
+            b.shli(4, 3, 3)
+            b.addi(4, 4, weights)
+            b.st(12, 4, 0)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            # lock-update global best with this thread's last score
+            b.ldi(3, block)
+            b.spin_lock(3, 4)
+            b.ldi(3, best)
+            b.ld(5, 3, 0)
+            upd = b.label(f"upd{stage}")
+            b.bge(5, 12, upd)
+            b.st(12, 3, 0)
+            b.place(upd)
+            b.ldi(3, block)
+            b.spin_unlock(3)
+            bar = ib.barrier_counter(f"stage{stage}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, weights, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        if tid == 0:
+            atomic_read(b, best, 6, 3)
+            out_slot(b, 0, 6, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_ferret(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Ferret analogue: producer/consumer pipeline over a software queue.
+
+    Even threads produce similarity-query items derived from the input
+    file; odd threads consume them, chasing input indices and folding a
+    hash into a shared accumulator (order-insensitive, so legal timing
+    variation does not change the output).
+    """
+    ib = ImageBuilder("ferr", threads)
+    iw = max(128, work // 70)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    producers = [t for t in range(threads) if t % 2 == 0]
+    items = max(len(producers) * 4, min(4096, work // 55))
+    queue = ib.alloc("queue", items)
+    qtail = ib.global_word("qtail")
+    qhead = ib.global_word("qhead")
+    hash_sum = ib.global_word("hash_sum")
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"ferr.t{tid}")
+        wait_for_input(b, 3, 4)
+        if tid % 2 == 0:
+            # producer: claim slots until all items produced
+            grab = b.label("pgrab")
+            done = b.label("pdone")
+            b.place(grab)
+            b.ldi(3, qtail)
+            b.ldi(4, 1)
+            b.faa(5, 3, 4)  # slot
+            b.ldi(4, items)
+            b.bge(5, 4, done)
+            b.ldi(6, iw)
+            b.mod(7, 5, 6)
+            b.shli(7, 7, 3)
+            b.addi(7, 7, input_base)
+            b.ld(8, 7, 0)
+            b.ori(8, 8, 1)  # items are non-zero (zero = not yet produced)
+            b.shli(7, 5, 3)
+            b.addi(7, 7, queue)
+            b.st(8, 7, 0)
+            b.jmp(grab)
+            b.place(done)
+            b.halt()
+        else:
+            # consumer: claim slots, spin for the datum, chase and fold
+            grab = b.label("cgrab")
+            done = b.label("cdone")
+            b.place(grab)
+            b.ldi(3, qhead)
+            b.ldi(4, 1)
+            b.faa(5, 3, 4)  # slot
+            b.ldi(4, items)
+            b.bge(5, 4, done)
+            b.shli(7, 5, 3)
+            b.addi(7, 7, queue)
+            spin = b.label(f"spin{tid}")
+            b.place(spin)
+            b.ld(8, 7, 0)
+            b.beq(8, 0, spin)
+            # two dependent index chases through the input
+            for _hop in range(2):
+                b.ldi(6, iw)
+                b.mod(9, 8, 6)
+                b.shli(9, 9, 3)
+                b.addi(9, 9, input_base)
+                b.ld(10, 9, 0)
+                b.muli(8, 8, 5)
+                b.add(8, 8, 10)
+            b.andi(8, 8, 0xFFFFF)
+            b.ldi(3, hash_sum)
+            b.faa(9, 3, 8)
+            b.jmp(grab)
+            b.place(done)
+            b.halt()
+        programs.append(b.build())
+    # thread 0 cannot both produce and report (producers halt when the
+    # queue fills), so give the last consumer the reporting role.
+    reporters = [t for t in range(threads) if t % 2 == 1]
+    reporter = reporters[-1] if reporters else 0
+    rb = ProgramBuilder(f"ferr.t{reporter}")
+    wait_for_input(rb, 3, 4)
+    grab = rb.label("cgrab")
+    done = rb.label("cdone")
+    rb.place(grab)
+    rb.ldi(3, qhead)
+    rb.ldi(4, 1)
+    rb.faa(5, 3, 4)
+    rb.ldi(4, items)
+    rb.bge(5, 4, done)
+    rb.shli(7, 5, 3)
+    rb.addi(7, 7, queue)
+    spin = rb.label("spin")
+    rb.place(spin)
+    rb.ld(8, 7, 0)
+    rb.beq(8, 0, spin)
+    for _hop in range(2):
+        rb.ldi(6, iw)
+        rb.mod(9, 8, 6)
+        rb.shli(9, 9, 3)
+        rb.addi(9, 9, input_base)
+        rb.ld(10, 9, 0)
+        rb.muli(8, 8, 5)
+        rb.add(8, 8, 10)
+    rb.andi(8, 8, 0xFFFFF)
+    rb.ldi(3, hash_sum)
+    rb.faa(9, 3, 8)
+    rb.jmp(grab)
+    rb.place(done)
+    # wait until every slot has been consumed, then report the fold
+    bar = ib.barrier_counter("pipeline_drain")
+    # only consumers participate (producers have halted)
+    nconsumers = len(reporters)
+    rb.ldi(3, bar)
+    rb.barrier(3, nconsumers, 4, 5)
+    atomic_read(rb, hash_sum, 6, 3)
+    out_slot(rb, 0, 6, 3)
+    rb.halt()
+    programs[reporter] = rb.build()
+    # other consumers join the drain barrier before halting
+    for t in reporters[:-1]:
+        cb = ProgramBuilder(f"ferr.t{t}")
+        wait_for_input(cb, 3, 4)
+        grab = cb.label("cgrab")
+        done = cb.label("cdone")
+        cb.place(grab)
+        cb.ldi(3, qhead)
+        cb.ldi(4, 1)
+        cb.faa(5, 3, 4)
+        cb.ldi(4, items)
+        cb.bge(5, 4, done)
+        cb.shli(7, 5, 3)
+        cb.addi(7, 7, queue)
+        spin = cb.label("spin")
+        cb.place(spin)
+        cb.ld(8, 7, 0)
+        cb.beq(8, 0, spin)
+        for _hop in range(2):
+            cb.ldi(6, iw)
+            cb.mod(9, 8, 6)
+            cb.shli(9, 9, 3)
+            cb.addi(9, 9, input_base)
+            cb.ld(10, 9, 0)
+            cb.muli(8, 8, 5)
+            cb.add(8, 8, 10)
+        cb.andi(8, 8, 0xFFFFF)
+        cb.ldi(3, hash_sum)
+        cb.faa(9, 3, 8)
+        cb.jmp(grab)
+        cb.place(done)
+        cb.ldi(3, bar)
+        cb.barrier(3, nconsumers, 4, 5)
+        cb.halt()
+        programs[t] = cb.build()
+    return ib.finish(programs)
+
+
+def build_fluidanimate(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Fluidanimate analogue: per-cell locks reached through pointer tables.
+
+    The lock and accumulator addresses are loaded from in-memory pointer
+    tables -- corruption of those pointers sends the thread outside every
+    valid region and traps, reproducing the control-heavy UT/Hang profile
+    of the original.
+    """
+    ib = ImageBuilder("flui", threads)
+    iw = max(96, work // 90)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    cells = 32
+    lock_cells = ib.alloc("cell_locks", cells)
+    accum_cells = ib.alloc("cell_accum", cells)
+    lock_table = ib.alloc("lock_table", cells)
+    accum_table = ib.alloc("accum_table", cells)
+    ib.init_array(lock_table, (lock_cells + 8 * c for c in range(cells)))
+    ib.init_array(accum_table, (accum_cells + 8 * c for c in range(cells)))
+    particles = max(threads * 4, min(4096, work // 60))
+    phases = 2
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"flui.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, particles, 1, 2, 3)
+        for phase in range(phases):
+            b.add(3, 1, 0)
+            loop = b.label(f"ph{phase}")
+            done = b.label(f"phd{phase}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            # cell = input[particle mod iw] mod cells
+            b.ldi(4, iw)
+            b.mod(4, 3, 4)
+            b.shli(4, 4, 3)
+            b.addi(4, 4, input_base)
+            b.ld(5, 4, 0)
+            b.addi(5, 5, phase)
+            b.ldi(6, cells)
+            b.mod(5, 5, 6)
+            # chase the pointer tables
+            b.shli(5, 5, 3)
+            b.addi(6, 5, lock_table)
+            b.ld(7, 6, 0)  # r7 = &lock (pointer from memory)
+            b.addi(6, 5, accum_table)
+            b.ld(8, 6, 0)  # r8 = &accumulator
+            b.spin_lock(7, 9)
+            b.ld(10, 8, 0)
+            b.addi(10, 10, 1)
+            b.mul(11, 3, 3)
+            b.andi(11, 11, 0xFF)
+            b.add(10, 10, 11)
+            b.st(10, 8, 0)
+            b.spin_unlock(7)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            bar = ib.barrier_counter(f"fluid{phase}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+        if tid == 0:
+            b.ldi(3, 0)
+            b.ldi(2, cells)
+            b.ldi(12, 0)
+            checksum_loop(b, accum_cells, 3, 2, 12, 4, 5)
+            out_slot(b, 0, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_freqmine(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Freqmine analogue: frequent-itemset counting into FAA buckets."""
+    ib = ImageBuilder("freq", threads)
+    iw = max(128, work // 45)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    buckets = 64
+    counts = ib.alloc("counts", buckets)
+    items = max(threads * 4, min(8192, work // 18))
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"freq.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, items, 1, 2, 3)
+        b.add(3, 1, 0)
+        loop = b.label("fm")
+        done = b.label("fmd")
+        b.place(loop)
+        b.bge(3, 2, done)
+        b.ldi(4, iw)
+        b.mod(4, 3, 4)
+        b.shli(4, 4, 3)
+        b.addi(4, 4, input_base)
+        b.ld(5, 4, 0)
+        b.ldi(6, 2654435761)
+        b.mul(5, 5, 6)
+        b.shri(5, 5, 20)
+        b.andi(5, 5, buckets - 1)
+        b.shli(5, 5, 3)
+        b.addi(5, 5, counts)
+        b.ldi(6, 1)
+        b.faa(7, 5, 6)
+        b.addi(3, 3, 1)
+        b.jmp(loop)
+        b.place(done)
+        bar = ib.barrier_counter("count")
+        b.ldi(3, bar)
+        b.barrier(3, threads, 4, 5)
+        if tid == 0:
+            b.ldi(3, 0)
+            b.ldi(2, buckets)
+            b.ldi(12, 0)
+            checksum_loop(b, counts, 3, 2, 12, 4, 5)
+            out_slot(b, 0, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_streamcluster(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Streamcluster analogue: distance rounds + cost reduction + recenter."""
+    ib = ImageBuilder("stre", threads)
+    points = max(threads * 8, min(4096, work // 42))
+    centers = 4
+    pts = ib.alloc("points", points)
+    ctr = ib.alloc("centers", centers)
+    ib.init_array(pts, (rng.getrandbits(32) for _ in range(points)))
+    ib.init_array(ctr, (rng.getrandbits(32) for _ in range(centers)))
+    cost = ib.global_word("cost")
+    clock = ib.lock_word("cost")
+    rounds = 3
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"stre.t{tid}")
+        thread_chunk(b, points, 1, 2, 3)
+        for rnd in range(rounds):
+            b.ldi(12, 0)  # local cost
+            b.add(3, 1, 0)
+            loop = b.label(f"r{rnd}")
+            done = b.label(f"rd{rnd}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            b.shli(4, 3, 3)
+            b.addi(4, 4, pts)
+            b.ld(5, 4, 0)  # point value
+            b.ldi(11, (1 << 63) - 1)  # min distance
+            for c in range(centers):
+                b.ldi(6, ctr + 8 * c)
+                b.ld(7, 6, 0)
+                b.sub(8, 5, 7)
+                b.mul(8, 8, 8)
+                b.shri(8, 8, 32)
+                skip = b.label(f"m{rnd}_{c}_{tid}_{b.here}")
+                b.bge(8, 11, skip)
+                b.add(11, 8, 0)
+                b.place(skip)
+            b.add(12, 12, 11)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            reduce_add(b, clock, cost, 12, 3, 4)
+            bar = ib.barrier_counter(f"round{rnd}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+            if tid == 0 and rnd < rounds - 1:
+                # recenter: center[rnd mod centers] = points[cost mod points]
+                atomic_read(b, cost, 6, 3)
+                b.ldi(7, points)
+                b.mod(7, 6, 7)
+                b.shli(7, 7, 3)
+                b.addi(7, 7, pts)
+                b.ld(8, 7, 0)
+                b.ldi(7, ctr + 8 * (rnd % centers))
+                b.st(8, 7, 0)
+            bar2 = ib.barrier_counter(f"recenter{rnd}")
+            b.ldi(3, bar2)
+            b.barrier(3, threads, 4, 5)
+        if tid == 0:
+            atomic_read(b, cost, 6, 3)
+            out_slot(b, 0, 6, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_swaptions(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Swaptions analogue: per-thread Monte-Carlo paths, minimal sharing."""
+    ib = ImageBuilder("swap", threads)
+    scratch = ib.alloc("scratch", threads * 16)
+    sims = max(4, work // (threads * 30))
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"swap.t{tid}")
+        b.ldi(1, tid * 1_000_003 + 12345)  # r1 = LCG state
+        b.ldi(12, 0)  # payoff accumulator
+        b.ldi(3, 0)  # sim counter
+        b.ldi(2, sims)
+        loop = b.label("mc")
+        done = b.label("mcd")
+        b.place(loop)
+        b.bge(3, 2, done)
+        for _step in range(3):
+            lcg_step(b, 1, 4)
+        # store a path point, reload it, fold into payoff
+        b.andi(5, 3, 15)
+        b.shli(5, 5, 3)
+        b.addi(5, 5, scratch + tid * 128)
+        b.shri(6, 1, 40)
+        b.st(6, 5, 0)
+        b.ld(7, 5, 0)
+        b.add(12, 12, 7)
+        b.addi(3, 3, 1)
+        b.jmp(loop)
+        b.place(done)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_vips(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """VIPS analogue: two convolution passes over an image from the input."""
+    ib = ImageBuilder("vips", threads)
+    iw = max(256, work // 40)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    n = max(threads * 8, min(8192, work // 22))
+    img1 = ib.alloc("img1", n)
+    img2 = ib.alloc("img2", n)
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"vips.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, n, 1, 2, 3)
+        for p, (src_base, src_words, dst_base) in enumerate(
+            [(input_base, iw, img1), (img1, n, img2)]
+        ):
+            b.add(3, 1, 0)
+            loop = b.label(f"v{p}")
+            done = b.label(f"vd{p}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            b.ldi(12, 0)
+            for offset in (0, 1, 2):
+                b.addi(4, 3, offset)
+                b.ldi(5, src_words)
+                b.mod(4, 4, 5)
+                b.shli(4, 4, 3)
+                b.addi(4, 4, src_base)
+                b.ld(6, 4, 0)
+                if offset == 1:
+                    b.shli(6, 6, 1)
+                b.add(12, 12, 6)
+            b.shri(12, 12, 2)
+            b.shli(4, 3, 3)
+            b.addi(4, 4, dst_base)
+            b.st(12, 4, 0)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            bar = ib.barrier_counter(f"pass{p}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, img2, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_x264(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """x264 analogue: per-block motion search over the reference input."""
+    ib = ImageBuilder("x264", threads)
+    iw = max(256, work // 50)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    blocks = max(threads * 4, min(4096, work // 65))
+    mvs = ib.alloc("motion_vectors", blocks)
+    bitrate = ib.global_word("bitrate")
+    search = 4
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"x264.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, blocks, 1, 2, 3)
+        b.add(3, 1, 0)
+        loop = b.label("blk")
+        done = b.label("blkd")
+        b.place(loop)
+        b.bge(3, 2, done)
+        # current block sample
+        b.muli(4, 3, 11)
+        b.ldi(5, iw)
+        b.mod(4, 4, 5)
+        b.shli(4, 4, 3)
+        b.addi(4, 4, input_base)
+        b.ld(6, 4, 0)
+        b.andi(6, 6, 0xFFFFFF)  # r6 = current
+        b.ldi(11, (1 << 63) - 1)  # best SAD
+        b.ldi(10, 0)  # best displacement
+        for d in range(search):
+            b.muli(4, 3, 11)
+            b.addi(4, 4, d + 1)
+            b.ldi(5, iw)
+            b.mod(4, 4, 5)
+            b.shli(4, 4, 3)
+            b.addi(4, 4, input_base)
+            b.ld(7, 4, 0)
+            b.andi(7, 7, 0xFFFFFF)
+            # |ref - cur| without signed arithmetic
+            ge = b.label(f"ge{d}_{tid}_{b.here}")
+            fin = b.label(f"fin{d}_{tid}_{b.here}")
+            b.bge(7, 6, ge)
+            b.sub(8, 6, 7)
+            b.jmp(fin)
+            b.place(ge)
+            b.sub(8, 7, 6)
+            b.place(fin)
+            skip = b.label(f"sk{d}_{tid}_{b.here}")
+            b.bge(8, 11, skip)
+            b.add(11, 8, 0)
+            b.ldi(10, d)
+            b.place(skip)
+        b.shli(4, 3, 3)
+        b.addi(4, 4, mvs)
+        b.st(10, 4, 0)
+        b.andi(9, 11, 0xFF)
+        b.ldi(4, bitrate)
+        b.faa(5, 4, 9)
+        b.addi(3, 3, 1)
+        b.jmp(loop)
+        b.place(done)
+        bar = ib.barrier_counter("encode")
+        b.ldi(3, bar)
+        b.barrier(3, threads, 4, 5)
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, mvs, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        if tid == 0:
+            atomic_read(b, bitrate, 6, 3)
+            out_slot(b, 0, 6, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)

@@ -1,0 +1,140 @@
+"""Benchmark registry (paper Table 5).
+
+Maps each benchmark abbreviation to its Table 5 metadata and its builder.
+``build_workload`` is the single public entry point: it derives the
+work amount from the paper's error-free cycle count and a scale factor,
+seeds the deterministic data generator, and returns a ready-to-load
+:class:`~repro.workloads.base.WorkloadImage`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.workloads import parsec, phoenix, splash2
+from repro.workloads.base import WorkloadImage, WorkloadMeta
+
+#: Default workload scale: reproduction cycle budgets are ~1/8000 of the
+#: paper's Table 5 lengths (relative proportions preserved).
+DEFAULT_SCALE = 1.0 / 8000.0
+
+_M = 1_000_000
+_KB = 1024
+_MB = 1024 * 1024
+
+Builder = Callable[[int, int, random.Random], WorkloadImage]
+
+#: short name -> (Table 5 metadata, builder)
+REGISTRY: dict[str, tuple[WorkloadMeta, Builder]] = {
+    "barn": (
+        WorkloadMeta("Barnes", "barn", "SPLASH-2", 413 * _M, 0),
+        splash2.build_barnes,
+    ),
+    "chol": (
+        WorkloadMeta("Cholesky", "chol", "SPLASH-2", 531 * _M, int(1.7 * _MB)),
+        splash2.build_cholesky,
+    ),
+    "fft": (
+        WorkloadMeta("FFT", "fft", "SPLASH-2", 862 * _M, 0),
+        splash2.build_fft,
+    ),
+    "lu-c": (
+        WorkloadMeta("LU-contiguous", "lu-c", "SPLASH-2", 215 * _M, 0),
+        splash2.build_lu,
+    ),
+    "radi": (
+        WorkloadMeta("Radix", "radi", "SPLASH-2", 120 * _M, 0),
+        splash2.build_radix,
+    ),
+    "rayt": (
+        WorkloadMeta("Raytrace", "rayt", "SPLASH-2", 1005 * _M, int(4.5 * _MB)),
+        splash2.build_raytrace,
+    ),
+    "blsc": (
+        WorkloadMeta("Blackscholes", "blsc", "PARSEC-2.1", 164 * _M, 258 * _KB),
+        parsec.build_blackscholes,
+    ),
+    "body": (
+        WorkloadMeta("Bodytrack", "body", "PARSEC-2.1", 571 * _M, int(2.5 * _MB)),
+        parsec.build_bodytrack,
+    ),
+    "ferr": (
+        WorkloadMeta("Ferret", "ferr", "PARSEC-2.1", 763 * _M, int(4.7 * _MB)),
+        parsec.build_ferret,
+    ),
+    "flui": (
+        WorkloadMeta("Fluidanimate", "flui", "PARSEC-2.1", 842 * _M, int(1.3 * _MB)),
+        parsec.build_fluidanimate,
+    ),
+    "freq": (
+        WorkloadMeta("Freqmine", "freq", "PARSEC-2.1", 353 * _M, 8 * _MB),
+        parsec.build_freqmine,
+    ),
+    "stre": (
+        WorkloadMeta("Streamcluster", "stre", "PARSEC-2.1", 695 * _M, 0),
+        parsec.build_streamcluster,
+    ),
+    "swap": (
+        WorkloadMeta("Swaptions", "swap", "PARSEC-2.1", 591 * _M, 0),
+        parsec.build_swaptions,
+    ),
+    "vips": (
+        WorkloadMeta("Vips", "vips", "PARSEC-2.1", 1003 * _M, int(7.6 * _MB)),
+        parsec.build_vips,
+    ),
+    "x264": (
+        WorkloadMeta("X264", "x264", "PARSEC-2.1", 881 * _M, int(2.8 * _MB)),
+        parsec.build_x264,
+    ),
+    "p-lr": (
+        WorkloadMeta("Linear regression", "p-lr", "Phoenix", 54 * _M, 108 * _MB),
+        phoenix.build_linear_regression,
+    ),
+    "p-sm": (
+        WorkloadMeta("String match", "p-sm", "Phoenix", 248 * _M, 108 * _MB),
+        phoenix.build_string_match,
+    ),
+    "p-wc": (
+        WorkloadMeta("Word count", "p-wc", "Phoenix", 566 * _M, 99 * _MB),
+        phoenix.build_word_count,
+    ),
+}
+
+#: Benchmarks with an input data file -- the PCIe injection set (Table 5).
+PCIE_BENCHMARKS: tuple[str, ...] = tuple(
+    short for short, (meta, _b) in REGISTRY.items() if meta.has_input_file
+)
+
+ALL_BENCHMARKS: tuple[str, ...] = tuple(REGISTRY)
+
+
+def workload_meta(short: str) -> WorkloadMeta:
+    """Table 5 metadata for a benchmark."""
+    if short not in REGISTRY:
+        raise KeyError(f"unknown benchmark {short!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[short][0]
+
+
+def build_workload(
+    short: str,
+    threads: int = 16,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2015,
+) -> WorkloadImage:
+    """Build a benchmark analogue.
+
+    Args:
+        short: Table 5 abbreviation (``barn``, ``chol``, ...).
+        threads: hardware threads the image targets.
+        scale: cycle-budget scale relative to Table 5 (default ~1/8000).
+        seed: data-generation seed (input files, initial arrays).
+    """
+    if threads < 2:
+        raise ValueError("workloads need at least 2 threads")
+    meta, builder = REGISTRY[short] if short in REGISTRY else (None, None)
+    if meta is None:
+        raise KeyError(f"unknown benchmark {short!r}; known: {sorted(REGISTRY)}")
+    work = max(400, int(meta.paper_cycles * scale))
+    rng = random.Random((seed << 8) ^ hash(short) & 0xFFFFFFFF)
+    return builder(threads, work, rng)

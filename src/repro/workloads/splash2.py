@@ -1,0 +1,452 @@
+"""SPLASH-2 benchmark analogues (Table 5, top block).
+
+Each analogue preserves the communication/computation character of the
+original at reproduction scale: data-parallel phases separated by
+barriers, lock-protected reductions, and (for Cholesky and Raytrace)
+input files consumed from the PCIe-transferred region.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.program import ProgramBuilder
+from repro.workloads.base import WorkloadImage
+from repro.workloads.kernels import (
+    atomic_read,
+    checksum_loop,
+    lcg_step,
+    out_slot,
+    reduce_add,
+    thread_chunk,
+    wait_for_input,
+)
+from repro.workloads.layout import ImageBuilder
+
+
+def _input_words(rng: random.Random, count: int) -> list[int]:
+    """Deterministic synthetic input-file payload (non-zero words)."""
+    return [(rng.getrandbits(64) | 1) for _ in range(count)]
+
+
+def build_barnes(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Barnes-Hut analogue: neighbour-window force phases + energy reduce."""
+    ib = ImageBuilder("barn", threads)
+    n = max(threads * 8, min(4096, work // 30))
+    pos = ib.alloc("pos", n)
+    acc = ib.alloc("acc", n)
+    ib.init_array(pos, (rng.getrandbits(32) for _ in range(n)))
+    energy = ib.global_word("energy")
+    elock = ib.lock_word("energy")
+    steps = 2
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"barn.t{tid}")
+        thread_chunk(b, n, 1, 2, 3)  # r1=start r2=end
+        b.ldi(12, 0)  # r12 = local energy
+        for step in range(steps):
+            # force phase: acc[i] = pos[(5i+step) mod n]*pos[i] + pos[(i+1) mod n]
+            b.ldi(3, 0)
+            b.add(3, 1, 0)  # r3 = i = start
+            loop = b.label(f"f{step}")
+            done = b.label(f"fd{step}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            b.muli(4, 3, 5)
+            b.addi(4, 4, step)
+            b.ldi(5, n)
+            b.mod(4, 4, 5)  # r4 = (5i+step) mod n
+            b.shli(4, 4, 3)
+            b.addi(4, 4, pos)
+            b.ld(5, 4, 0)  # r5 = pos[(5i+step) mod n]
+            b.shli(6, 3, 3)
+            b.addi(6, 6, pos)
+            b.ld(7, 6, 0)  # r7 = pos[i]
+            b.mul(5, 5, 7)
+            b.addi(8, 3, 1)
+            b.ldi(9, n)
+            b.mod(8, 8, 9)
+            b.shli(8, 8, 3)
+            b.addi(8, 8, pos)
+            b.ld(9, 8, 0)  # r9 = pos[(i+1) mod n]
+            b.add(5, 5, 9)
+            b.shli(6, 3, 3)
+            b.addi(6, 6, acc)
+            b.st(5, 6, 0)  # acc[i] = force
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            bar1 = ib.barrier_counter(f"force{step}")
+            b.ldi(3, bar1)
+            b.barrier(3, threads, 4, 5)
+            # update phase: pos[i] += acc[i]; energy += pos[i] & 0xffff
+            b.add(3, 1, 0)
+            loop2 = b.label(f"u{step}")
+            done2 = b.label(f"ud{step}")
+            b.place(loop2)
+            b.bge(3, 2, done2)
+            b.shli(4, 3, 3)
+            b.addi(5, 4, pos)
+            b.addi(6, 4, acc)
+            b.ld(7, 5, 0)
+            b.ld(8, 6, 0)
+            b.add(7, 7, 8)
+            b.st(7, 5, 0)
+            b.andi(7, 7, 0xFFFF)
+            b.add(12, 12, 7)
+            b.addi(3, 3, 1)
+            b.jmp(loop2)
+            b.place(done2)
+            bar2 = ib.barrier_counter(f"update{step}")
+            b.ldi(3, bar2)
+            b.barrier(3, threads, 4, 5)
+        reduce_add(b, elock, energy, 12, 3, 4)
+        bar3 = ib.barrier_counter("final")
+        b.ldi(3, bar3)
+        b.barrier(3, threads, 4, 5)
+        if tid == 0:
+            atomic_read(b, energy, 6, 3)
+            out_slot(b, 0, 6, 3)
+        # per-thread checksum of own chunk of pos
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, pos, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_cholesky(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Cholesky analogue: input-driven column sweeps with pivot reduce."""
+    ib = ImageBuilder("chol", threads)
+    iw = max(64, work // 120)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    n = max(threads * 8, min(4096, work // 35))
+    a = ib.alloc("a", n)
+    ib.init_array(a, ((rng.getrandbits(32) | 1) for _ in range(n)))
+    pivot = ib.global_word("pivot", init=1)
+    plock = ib.lock_word("pivot")
+    sweeps = 3
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"chol.t{tid}")
+        wait_for_input(b, 3, 4)
+        thread_chunk(b, n, 1, 2, 3)
+        for k in range(sweeps):
+            # owner of sweep k updates the pivot from input data
+            if True:
+                owner = k % threads
+                if tid == owner:
+                    b.ldi(3, input_base + 8 * (k % iw))
+                    b.ld(4, 3, 0)
+                    b.andi(4, 4, 0xFFFF)
+                    b.ori(4, 4, 1)
+                    b.ldi(3, plock)
+                    b.spin_lock(3, 5)
+                    b.ldi(3, pivot)
+                    b.st(4, 3, 0)
+                    b.ldi(3, plock)
+                    b.spin_unlock(3)
+            bar = ib.barrier_counter(f"pivot{k}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+            # a[i] = a[i] - ((input[i mod iw] * pivot) >> 8)
+            atomic_read(b, pivot, 10, 3)
+            b.add(3, 1, 0)
+            loop = b.label(f"s{k}")
+            done = b.label(f"sd{k}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            b.ldi(4, iw)
+            b.mod(4, 3, 4)
+            b.shli(4, 4, 3)
+            b.addi(4, 4, input_base)
+            b.ld(5, 4, 0)
+            b.mul(5, 5, 10)
+            b.shri(5, 5, 8)
+            b.shli(6, 3, 3)
+            b.addi(6, 6, a)
+            b.ld(7, 6, 0)
+            b.sub(7, 7, 5)
+            b.st(7, 6, 0)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            bar2 = ib.barrier_counter(f"sweep{k}")
+            b.ldi(3, bar2)
+            b.barrier(3, threads, 4, 5)
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, a, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_fft(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """FFT analogue: log2(N) butterfly passes with a barrier per pass."""
+    ib = ImageBuilder("fft", threads)
+    n = 64
+    while n * (n.bit_length() - 1) < work // 4 and n < 8192:
+        n *= 2
+    a = ib.alloc("a", n)
+    ib.init_array(a, (rng.getrandbits(48) for _ in range(n)))
+    passes = n.bit_length() - 1
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"fft.t{tid}")
+        thread_chunk(b, n, 1, 2, 3)
+        for p in range(passes):
+            stride = 1 << p
+            # butterfly pairs (i, i^stride) where i & stride == 0
+            b.add(3, 1, 0)
+            loop = b.label(f"p{p}")
+            skip = b.label(f"k{p}")
+            done = b.label(f"d{p}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            b.andi(4, 3, stride)
+            b.bne(4, 0, skip)
+            b.shli(5, 3, 3)
+            b.addi(5, 5, a)  # addr i
+            b.xori(6, 3, stride)
+            b.shli(6, 6, 3)
+            b.addi(6, 6, a)  # addr j
+            b.ld(7, 5, 0)
+            b.ld(8, 6, 0)
+            b.add(9, 7, 8)  # a[i]' = a[i] + a[j]
+            b.sub(10, 7, 8)  # a[j]' = a[i] - a[j] (twiddle analogue)
+            b.muli(10, 10, 3 + 2 * p)
+            b.st(9, 5, 0)
+            b.st(10, 6, 0)
+            b.place(skip)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            bar = ib.barrier_counter(f"pass{p}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, a, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_lu(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """LU-contiguous analogue: pivot step + panel update per iteration."""
+    ib = ImageBuilder("lu-c", threads)
+    n = max(threads * 8, min(4096, work // 25))
+    a = ib.alloc("a", n)
+    ib.init_array(a, ((rng.getrandbits(32) | 1) for _ in range(n)))
+    pivot = ib.global_word("lupivot", init=3)
+    steps = 4
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"lu-c.t{tid}")
+        thread_chunk(b, n, 1, 2, 3)
+        for k in range(steps):
+            owner = k % threads
+            if tid == owner:
+                # pivot = a[k] | 1 (avoid zero)
+                b.ldi(3, a + 8 * (k % n))
+                b.ld(4, 3, 0)
+                b.ori(4, 4, 1)
+                b.andi(4, 4, 0xFFFFF)
+                b.ldi(3, pivot)
+                b.st(4, 3, 0)
+            bar = ib.barrier_counter(f"lupiv{k}")
+            b.ldi(3, bar)
+            b.barrier(3, threads, 4, 5)
+            atomic_read(b, pivot, 10, 3)
+            # a[i] = a[i] - (a[i] / pivot) * (k+2)
+            b.add(3, 1, 0)
+            loop = b.label(f"l{k}")
+            done = b.label(f"ld{k}")
+            b.place(loop)
+            b.bge(3, 2, done)
+            b.shli(5, 3, 3)
+            b.addi(5, 5, a)
+            b.ld(6, 5, 0)
+            b.div(7, 6, 10)
+            b.muli(7, 7, k + 2)
+            b.sub(6, 6, 7)
+            b.st(6, 5, 0)
+            b.addi(3, 3, 1)
+            b.jmp(loop)
+            b.place(done)
+            bar2 = ib.barrier_counter(f"lupanel{k}")
+            b.ldi(3, bar2)
+            b.barrier(3, threads, 4, 5)
+        b.ldi(12, 0)
+        b.add(3, 1, 0)
+        checksum_loop(b, a, 3, 2, 12, 4, 5)
+        out_slot(b, tid + 1, 12, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_radix(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Radix-sort analogue: histogram (FAA), prefix, scatter rounds."""
+    ib = ImageBuilder("radi", threads)
+    n = max(threads * 8, min(4096, work // 28))
+    buckets = 16
+    src = ib.alloc("src", n)
+    dst = ib.alloc("dst", n)
+    hist = ib.alloc("hist", buckets)
+    base_off = ib.alloc("base", buckets)
+    ib.init_array(src, (rng.getrandbits(32) for _ in range(n)))
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"radi.t{tid}")
+        thread_chunk(b, n, 1, 2, 3)
+        # histogram phase: FAA hist[(src[i] >> 4) & 15]
+        b.add(3, 1, 0)
+        loop = b.label("h")
+        done = b.label("hd")
+        b.place(loop)
+        b.bge(3, 2, done)
+        b.shli(4, 3, 3)
+        b.addi(4, 4, src)
+        b.ld(5, 4, 0)
+        b.shri(5, 5, 4)
+        b.andi(5, 5, 15)
+        b.shli(5, 5, 3)
+        b.addi(5, 5, hist)
+        b.ldi(6, 1)
+        b.faa(7, 5, 6)
+        b.addi(3, 3, 1)
+        b.jmp(loop)
+        b.place(done)
+        bar = ib.barrier_counter("hist")
+        b.ldi(3, bar)
+        b.barrier(3, threads, 4, 5)
+        if tid == 0:
+            # exclusive prefix sum of hist into base_off
+            b.ldi(3, 0)  # bucket index
+            b.ldi(4, 0)  # running total
+            ploop = b.label("pf")
+            pdone = b.label("pfd")
+            b.place(ploop)
+            b.ldi(5, buckets)
+            b.bge(3, 5, pdone)
+            b.shli(5, 3, 3)
+            b.addi(6, 5, base_off)
+            b.st(4, 6, 0)
+            b.addi(6, 5, hist)
+            b.ld(7, 6, 0)
+            b.add(4, 4, 7)
+            b.addi(3, 3, 1)
+            b.jmp(ploop)
+            b.place(pdone)
+        bar2 = ib.barrier_counter("prefix")
+        b.ldi(3, bar2)
+        b.barrier(3, threads, 4, 5)
+        # scatter phase: pos = FAA(base[bucket], 1); dst[pos] = src[i]
+        b.add(3, 1, 0)
+        loop2 = b.label("s")
+        done2 = b.label("sd")
+        b.place(loop2)
+        b.bge(3, 2, done2)
+        b.shli(4, 3, 3)
+        b.addi(4, 4, src)
+        b.ld(5, 4, 0)  # value
+        b.shri(6, 5, 4)
+        b.andi(6, 6, 15)
+        b.shli(6, 6, 3)
+        b.addi(6, 6, base_off)
+        b.ldi(7, 1)
+        b.faa(8, 6, 7)  # r8 = position
+        b.shli(8, 8, 3)
+        b.addi(8, 8, dst)
+        b.st(5, 8, 0)
+        b.addi(3, 3, 1)
+        b.jmp(loop2)
+        b.place(done2)
+        bar3 = ib.barrier_counter("scatter")
+        b.ldi(3, bar3)
+        b.barrier(3, threads, 4, 5)
+        # order-insensitive checksum of own chunk of dst (sum and sum sq)
+        b.add(3, 1, 0)
+        b.ldi(12, 0)
+        b.ldi(11, 0)
+        loop3 = b.label("c")
+        done3 = b.label("cd")
+        b.place(loop3)
+        b.bge(3, 2, done3)
+        b.shli(4, 3, 3)
+        b.addi(4, 4, dst)
+        b.ld(5, 4, 0)
+        b.add(12, 12, 5)
+        b.mul(6, 5, 5)
+        b.add(11, 11, 6)
+        b.addi(3, 3, 1)
+        b.jmp(loop3)
+        b.place(done3)
+        out_slot(b, 2 * tid + 1, 12, 3)
+        out_slot(b, 2 * tid + 2, 11, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)
+
+
+def build_raytrace(threads: int, work: int, rng: random.Random) -> WorkloadImage:
+    """Raytrace analogue: dynamic pixel work queue over scene input data."""
+    ib = ImageBuilder("rayt", threads)
+    iw = max(128, work // 80)
+    input_base = ib.set_input_file(_input_words(rng, iw))
+    pixels = max(threads * 4, min(4096, work // 45))
+    fb = ib.alloc("framebuffer", pixels)
+    next_pixel = ib.global_word("next_pixel")
+    color_sum = ib.global_word("color_sum")
+    programs = []
+    for tid in range(threads):
+        b = ProgramBuilder(f"rayt.t{tid}")
+        wait_for_input(b, 3, 4)
+        b.ldi(12, 0)  # pixels rendered by this thread
+        grab = b.label("grab")
+        done = b.label("done")
+        b.place(grab)
+        b.ldi(3, next_pixel)
+        b.ldi(4, 1)
+        b.faa(5, 3, 4)  # r5 = pixel index
+        b.ldi(4, pixels)
+        b.bge(5, 4, done)
+        # trace: three dependent bounces through the scene (input) data
+        b.ldi(6, iw)
+        b.mod(7, 5, 6)
+        b.shli(7, 7, 3)
+        b.addi(7, 7, input_base)
+        b.ld(8, 7, 0)  # seed = input[p mod iw]
+        for bounce in range(3):
+            b.ldi(6, iw)
+            b.mod(7, 8, 6)
+            b.shli(7, 7, 3)
+            b.addi(7, 7, input_base)
+            b.ld(9, 7, 0)
+            b.muli(8, 8, 3)
+            b.add(8, 8, 9)
+            b.add(8, 8, 5)
+        b.shli(7, 5, 3)
+        b.addi(7, 7, fb)
+        b.st(8, 7, 0)  # framebuffer[p] = color
+        b.andi(9, 8, 0xFFFF)
+        b.ldi(3, color_sum)
+        b.faa(10, 3, 9)  # order-insensitive color accumulation
+        b.addi(12, 12, 1)
+        b.jmp(grab)
+        b.place(done)
+        bar = ib.barrier_counter("render")
+        b.ldi(3, bar)
+        b.barrier(3, threads, 4, 5)
+        if tid == 0:
+            atomic_read(b, color_sum, 6, 3)
+            out_slot(b, 0, 6, 3)
+        b.halt()
+        programs.append(b.build())
+    return ib.finish(programs)

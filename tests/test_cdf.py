@@ -1,0 +1,68 @@
+"""Tests for the empirical CDF helper (repro.utils.cdf)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.cdf import Cdf
+
+
+class TestCdfBasics:
+    def test_empty_cdf(self):
+        cdf = Cdf()
+        assert len(cdf) == 0
+        assert cdf.fraction_at_most(10) == 0.0
+
+    def test_single_sample(self):
+        cdf = Cdf([5.0])
+        assert cdf.fraction_at_most(4.9) == 0.0
+        assert cdf.fraction_at_most(5.0) == 1.0
+
+    def test_fraction_greater_complements(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_greater(2) == pytest.approx(0.5)
+
+    def test_incremental_add(self):
+        cdf = Cdf()
+        cdf.add(1)
+        cdf.extend([2, 3])
+        assert len(cdf) == 3
+        assert cdf.fraction_at_most(2) == pytest.approx(2 / 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Cdf([-1.0])
+
+    def test_decades_shape(self):
+        cdf = Cdf([1, 10, 100, 1000])
+        series = cdf.at_decades(max_exponent=3)
+        assert len(series) == 4
+        assert series[0] == (1.0, pytest.approx(0.25))
+        assert series[-1] == (1000.0, pytest.approx(1.0))
+
+    def test_quantile_bounds(self):
+        cdf = Cdf(range(100))
+        assert cdf.quantile(0.0) == 0
+        assert cdf.quantile(1.0) == 99
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf().quantile(0.5)
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(0, 1e9, allow_nan=False), min_size=1, max_size=200))
+    def test_monotone_nondecreasing(self, samples):
+        cdf = Cdf(samples)
+        points = sorted(set(samples))
+        fractions = [cdf.fraction_at_most(p) for p in points]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    @given(st.lists(st.floats(0, 1e9, allow_nan=False), min_size=1, max_size=200))
+    def test_max_sample_covers_everything(self, samples):
+        cdf = Cdf(samples)
+        assert cdf.fraction_at_most(max(samples)) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=100))
+    def test_quantile_is_a_sample(self, samples):
+        cdf = Cdf(samples)
+        assert cdf.quantile(0.5) in samples

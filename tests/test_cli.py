@@ -1,0 +1,56 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.component == "l2c"
+        assert args.n == 100
+
+    def test_rejects_unknown_component(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--component", "niu"])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "nope"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "31675" in out
+
+    def test_run(self, capsys):
+        rc = main([
+            "run", "--benchmark", "radi", "--cores", "2",
+            "--threads-per-core", "2", "--scale", "2e-5",
+        ])
+        assert rc == 0
+        assert "completed=True" in capsys.readouterr().out
+
+    def test_small_campaign(self, capsys):
+        rc = main([
+            "campaign", "--benchmark", "fft", "--component", "l2c",
+            "--n", "3", "--cores", "2", "--threads-per-core", "2",
+            "--scale", "5e-6",
+        ])
+        assert rc == 0
+        assert "campaign" in capsys.readouterr().out.lower()
+
+    def test_small_qrr(self, capsys):
+        rc = main([
+            "qrr", "--benchmark", "fft", "--component", "l2c",
+            "--n", "2", "--cores", "2", "--threads-per-core", "2",
+            "--scale", "5e-6",
+        ])
+        assert rc == 0

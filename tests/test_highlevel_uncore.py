@@ -1,0 +1,233 @@
+"""Tests for the accelerated-mode uncore models (repro.uncore.highlevel)."""
+
+import pytest
+
+from repro.mem.dram import Dram
+from repro.mem.l2state import L2BankState
+from repro.soc.address import AddressMap
+from repro.soc.packets import (
+    CpxType,
+    McuOp,
+    McuReply,
+    McuRequest,
+    PcxPacket,
+    PcxType,
+)
+from repro.uncore.highlevel.ccx import HighLevelCcx
+from repro.uncore.highlevel.l2c import HighLevelL2Bank
+from repro.uncore.highlevel.mcu import HighLevelMcu
+from repro.uncore.highlevel.pcie import HighLevelPcieDma, file_bytes_to_words
+
+
+class L2Harness:
+    """One high-level L2 bank wired to one MCU over real DRAM."""
+
+    def __init__(self, sets=8, ways=4):
+        self.amap = AddressMap(l2_banks=8, l2_sets=sets, mcus=4)
+        self.dram = Dram()
+        self.mcu_inbox = []
+        self.replies = []
+        self.state = L2BankState(0, self.amap, ways=ways)
+        self.bank = HighLevelL2Bank(
+            0, self.state, send_mcu=self.mcu_inbox.append,
+            log_store=lambda a, c: None,
+        )
+        self.mcu = HighLevelMcu(0, self.dram, send_reply=self.replies.append)
+        self.cycle = 0
+
+    def run(self, pkts, max_cycles=5000):
+        out = []
+        pending = list(pkts)
+        for _ in range(max_cycles):
+            if pending and self.bank.accept(pending[0], self.cycle):
+                pending.pop(0)
+            for req in self.mcu_inbox:
+                self.mcu.accept(req, self.cycle)
+            self.mcu_inbox.clear()
+            out.extend(self.bank.tick(self.cycle))
+            self.mcu.tick(self.cycle)
+            for rep in self.replies:
+                self.bank.deliver_mcu_reply(rep)
+            self.replies.clear()
+            self.cycle += 1
+            if not pending and self.bank.in_flight() == 0 and self.mcu.in_flight() == 0:
+                break
+        return out
+
+
+class TestHighLevelL2:
+    def test_load_returns_memory_value(self):
+        h = L2Harness()
+        h.dram.write_word(0x200, 0xAB)
+        out = h.run([PcxPacket(PcxType.LOAD, 1, 0, 0x200, 0, 7)])
+        rets = [p for p in out if p.ctype is CpxType.LOAD_RET]
+        assert rets[0].data == 0xAB and rets[0].reqid == 7
+
+    def test_store_then_load(self):
+        h = L2Harness()
+        out = h.run([
+            PcxPacket(PcxType.STORE, 0, 0, 0x200, 0x99, 1),
+            PcxPacket(PcxType.LOAD, 1, 0, 0x200, 0, 2),
+        ])
+        load = [p for p in out if p.ctype is CpxType.LOAD_RET][0]
+        assert load.data == 0x99
+
+    def test_store_marks_dirty_and_sets_directory(self):
+        h = L2Harness()
+        h.run([PcxPacket(PcxType.STORE, 3, 0, 0x200, 1, 1)])
+        s, w = h.state.lookup(0x200)
+        line = h.state.lines[s][w]
+        assert line.dirty
+        assert line.directory == (1 << 3)
+
+    def test_remote_store_invalidates_sharers(self):
+        h = L2Harness()
+        out = h.run([
+            PcxPacket(PcxType.LOAD, 1, 0, 0x200, 0, 1),  # core 1 shares
+            PcxPacket(PcxType.STORE, 2, 0, 0x200, 5, 2),  # core 2 stores
+        ])
+        invs = [p for p in out if p.ctype is CpxType.INVALIDATE]
+        assert [p.core for p in invs] == [1]
+
+    def test_atomic_invalidates_everyone(self):
+        h = L2Harness()
+        out = h.run([
+            PcxPacket(PcxType.LOAD, 1, 0, 0x200, 0, 1),
+            PcxPacket(PcxType.ATOMIC_TAS, 1, 0, 0x200, 0, 2),
+        ])
+        invs = [p for p in out if p.ctype is CpxType.INVALIDATE]
+        assert [p.core for p in invs] == [1]
+        s, w = h.state.lookup(0x200)
+        assert h.state.lines[s][w].directory == 0
+
+    def test_tas_semantics(self):
+        h = L2Harness()
+        out = h.run([
+            PcxPacket(PcxType.ATOMIC_TAS, 0, 0, 0x200, 0, 1),
+            PcxPacket(PcxType.ATOMIC_TAS, 0, 1, 0x200, 0, 2),
+        ])
+        rets = {p.reqid: p.data for p in out if p.ctype is CpxType.ATOMIC_RET}
+        assert rets[1] == 0 and rets[2] == 1
+
+    def test_faa_semantics(self):
+        h = L2Harness()
+        out = h.run([
+            PcxPacket(PcxType.ATOMIC_ADD, 0, 0, 0x200, 5, 1),
+            PcxPacket(PcxType.ATOMIC_ADD, 0, 0, 0x200, 3, 2),
+            PcxPacket(PcxType.LOAD, 0, 0, 0x200, 0, 3),
+        ])
+        load = [p for p in out if p.ctype is CpxType.LOAD_RET][0]
+        assert load.data == 8
+
+    def test_eviction_writes_back_dirty_line(self):
+        h = L2Harness(sets=8, ways=1)  # direct-mapped: easy conflicts
+        a1 = h.amap.rebuild_addr(1, 0, 0)
+        a2 = h.amap.rebuild_addr(2, 0, 0)
+        h.run([
+            PcxPacket(PcxType.STORE, 0, 0, a1, 0x77, 1),
+            PcxPacket(PcxType.LOAD, 0, 0, a2, 0, 2),
+        ])
+        assert h.dram.read_word(a1) == 0x77
+
+    def test_input_queue_backpressure(self):
+        h = L2Harness()
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x200, 0, 1)
+        accepted = sum(h.bank.accept(pkt, 0) for _ in range(40))
+        assert accepted == 16  # INPUT_QUEUE_DEPTH
+
+    def test_dma_update_refreshes_resident_line(self):
+        h = L2Harness()
+        h.run([PcxPacket(PcxType.LOAD, 0, 0, 0x200, 0, 1)])
+        h.bank.dma_update(0x200, 0xFEED)
+        s, w = h.state.lookup(0x200)
+        assert h.state.lines[s][w].data[h.amap.word_in_line(0x200)] == 0xFEED
+
+    def test_snapshot_restore(self):
+        h = L2Harness()
+        h.run([PcxPacket(PcxType.STORE, 0, 0, 0x200, 1, 1)])
+        snap = h.bank.snapshot()
+        h.run([PcxPacket(PcxType.STORE, 0, 0, 0x200, 2, 2)])
+        h.bank.restore(snap)
+        s, w = h.state.lookup(0x200)
+        assert h.state.lines[s][w].data[h.amap.word_in_line(0x200)] == 1
+
+
+class TestHighLevelMcu:
+    def test_read_latency_and_data(self):
+        dram = Dram()
+        dram.write_line(0x100 & ~63, range(8))
+        replies = []
+        mcu = HighLevelMcu(0, dram, send_reply=replies.append)
+        mcu.accept(McuRequest(McuOp.READ, 0x100, None, 1, 5), cycle=0)
+        for c in range(100):
+            mcu.tick(c)
+        assert len(replies) == 1
+        assert replies[0].tag == 5 and replies[0].src_bank == 1
+
+    def test_write_applies(self):
+        dram = Dram()
+        mcu = HighLevelMcu(0, dram, send_reply=lambda r: None)
+        mcu.accept(McuRequest(McuOp.WRITE, 0x40, tuple(range(8)), 0, 0), 0)
+        for c in range(100):
+            mcu.tick(c)
+        assert dram.read_line(0x40) == tuple(range(8))
+
+    def test_fifo_order_same_line(self):
+        dram = Dram()
+        replies = []
+        mcu = HighLevelMcu(0, dram, send_reply=replies.append)
+        mcu.accept(McuRequest(McuOp.WRITE, 0x40, (9,) * 8, 0, 0), 0)
+        mcu.accept(McuRequest(McuOp.READ, 0x40, None, 0, 1), 0)
+        for c in range(100):
+            mcu.tick(c)
+        assert replies[0].data == (9,) * 8
+
+
+class TestHighLevelCcx:
+    def test_fixed_latency(self):
+        ccx = HighLevelCcx(latency=3)
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x40, 0, 1)
+        ccx.send_pcx(1, pkt, cycle=10)
+        assert ccx.deliver_pcx(12) == []
+        assert ccx.deliver_pcx(13) == [(1, pkt)]
+
+    def test_in_flight(self):
+        ccx = HighLevelCcx()
+        ccx.send_pcx(0, PcxPacket(PcxType.LOAD, 0, 0, 0, 0, 1), 0)
+        assert ccx.in_flight() == 1
+        ccx.deliver_pcx(100)
+        assert ccx.in_flight() == 0
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            HighLevelCcx(latency=0)
+
+
+class TestHighLevelPcie:
+    def test_file_packing(self):
+        words = file_bytes_to_words(b"\x01\x02" + b"\x00" * 7)
+        assert words[0] == 0x0201
+        assert len(words) == 2
+
+    def test_transfer_completes_and_sets_flag(self):
+        dram = Dram()
+        dma = HighLevelPcieDma(dram, rate=2)
+        dma.begin_transfer([1, 2, 3, 4, 5], dest_base=0x1000, status_addr=0x40, cycle=0)
+        cycle = 0
+        while dma.active:
+            dma.tick(cycle)
+            cycle += 1
+        assert dram.read_word(0x1000 + 8 * 4) == 5
+        assert dram.read_word(0x40) == 1
+        assert dma.transfer_window()[0] == 0
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            HighLevelPcieDma(Dram()).begin_transfer([1], 0x1001, 0x40, 0)
+
+    def test_in_flight_counts_remaining(self):
+        dma = HighLevelPcieDma(Dram(), rate=1)
+        dma.begin_transfer([1, 2, 3], 0x1000, 0x40, 0)
+        assert dma.in_flight() == 3
+        dma.tick(0)
+        assert dma.in_flight() == 2

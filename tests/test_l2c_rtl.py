@@ -1,0 +1,302 @@
+"""Tests for the L2C RTL model (repro.uncore.l2c)."""
+
+import random
+
+import pytest
+
+from repro.mem.dram import Dram
+from repro.mem.l2state import L2BankState
+from repro.rtl.registers import FlipFlopClass
+from repro.soc.address import AddressMap
+from repro.soc.geometry import T2_GEOMETRY
+from repro.soc.packets import CpxType, PcxPacket, PcxType
+from repro.uncore.highlevel.l2c import HighLevelL2Bank
+from repro.uncore.highlevel.mcu import HighLevelMcu
+from repro.uncore.l2c import L2cRtl
+
+AMAP = AddressMap(l2_banks=8, l2_sets=8, mcus=4)
+
+
+def make_rtl(sink=None):
+    return L2cRtl(0, AMAP, ways=4, send_mcu=sink if sink else (lambda r: None))
+
+
+class Harness:
+    """RTL L2C bank wired to a high-level MCU over real DRAM."""
+
+    def __init__(self):
+        self.dram = Dram()
+        self.mcu_inbox = []
+        self.replies = []
+        self.rtl = L2cRtl(0, AMAP, ways=4, send_mcu=self.mcu_inbox.append)
+        self.mcu = HighLevelMcu(0, self.dram, send_reply=self.replies.append)
+        self.cycle = 0
+
+    def run(self, pkts, max_cycles=8000):
+        out = []
+        pending = list(pkts)
+        for _ in range(max_cycles):
+            if pending and self.rtl.accept(pending[0], self.cycle):
+                pending.pop(0)
+            for req in self.mcu_inbox:
+                self.mcu.accept(req, self.cycle)
+            self.mcu_inbox.clear()
+            out.extend(self.rtl.tick(self.cycle))
+            self.mcu.tick(self.cycle)
+            for rep in self.replies:
+                self.rtl.deliver_mcu_reply(rep)
+            self.replies.clear()
+            self.cycle += 1
+            if (
+                not pending
+                and self.rtl.in_flight() == 0
+                and self.mcu.in_flight() == 0
+            ):
+                break
+        return out
+
+
+class TestInventory:
+    def test_matches_table3_and_table4(self):
+        m = make_rtl()
+        spec = T2_GEOMETRY["l2c"]
+        counts = m.flip_flop_count_by_class()
+        assert m.flip_flop_count() == spec.flip_flops
+        assert counts[FlipFlopClass.TARGET] == spec.target_ffs
+        assert counts[FlipFlopClass.PROTECTED] == spec.protected_ffs
+        assert counts[FlipFlopClass.INACTIVE] == spec.inactive_ffs
+
+    def test_hardened_populations_match_sec64(self):
+        m = make_rtl()
+        timing = sum(
+            r.flip_flops for r in m.registers().values() if r.timing_critical
+        )
+        config = sum(r.flip_flops for r in m.registers().values() if r.config)
+        assert timing == 1_650  # paper Sec. 6.4 category 1
+        assert config == 55  # paper Sec. 6.4 category 2
+
+    def test_independent_of_cache_geometry(self):
+        small = L2cRtl(0, AddressMap(l2_sets=8), 4, send_mcu=lambda r: None)
+        large = L2cRtl(0, AddressMap(l2_sets=64), 8, send_mcu=lambda r: None)
+        assert small.flip_flop_count() == large.flip_flop_count()
+
+
+class TestProtocol:
+    def test_load_after_store(self):
+        h = Harness()
+        out = h.run([
+            PcxPacket(PcxType.STORE, 0, 0, 0x200, 0xAA, 1),
+            PcxPacket(PcxType.LOAD, 1, 0, 0x200, 0, 2),
+        ])
+        load = [p for p in out if p.ctype is CpxType.LOAD_RET][0]
+        assert load.data == 0xAA
+
+    def test_store_miss_acks_before_fill_completes(self):
+        """The T2 behaviour QRR must handle (paper Sec. 5/6): the store
+        ack leaves while the line fill is still in the miss buffer."""
+        h = Harness()
+        pkt = PcxPacket(PcxType.STORE, 0, 0, 0x200, 1, 1)
+        assert h.rtl.accept(pkt, 0)
+        ack_cycle = None
+        done_cycle = None
+        for cycle in range(500):
+            for req in h.mcu_inbox:
+                h.mcu.accept(req, cycle)
+            h.mcu_inbox.clear()
+            out = h.rtl.tick(cycle)
+            if any(p.ctype is CpxType.STORE_ACK for p in out) and ack_cycle is None:
+                ack_cycle = cycle
+            if h.rtl.store_miss_completions and done_cycle is None:
+                done_cycle = cycle
+            h.mcu.tick(cycle)
+            for rep in h.replies:
+                h.rtl.deliver_mcu_reply(rep)
+            h.replies.clear()
+            if done_cycle is not None:
+                break
+        assert ack_cycle is not None and done_cycle is not None
+        assert ack_cycle < done_cycle
+
+    def test_atomic_serialization(self):
+        h = Harness()
+        out = h.run([
+            PcxPacket(PcxType.ATOMIC_TAS, 0, 0, 0x200, 0, 1),
+            PcxPacket(PcxType.ATOMIC_TAS, 1, 0, 0x200, 0, 2),
+        ])
+        rets = {p.reqid: p.data for p in out if p.ctype is CpxType.ATOMIC_RET}
+        assert rets == {1: 0, 2: 1}
+
+    def test_directory_invalidation(self):
+        h = Harness()
+        out = h.run([
+            PcxPacket(PcxType.LOAD, 2, 0, 0x200, 0, 1),
+            PcxPacket(PcxType.STORE, 5, 0, 0x200, 9, 2),
+        ])
+        invs = [p for p in out if p.ctype is CpxType.INVALIDATE]
+        assert [p.core for p in invs] == [2]
+
+    def test_dirty_eviction_reaches_dram(self):
+        h = Harness()
+        pkts = [PcxPacket(PcxType.STORE, 0, 0, AMAP.rebuild_addr(t, 0, 0), t, t + 1)
+                for t in range(6)]  # 6 tags, 4 ways: forces evictions
+        h.run(pkts)
+        written = [a for a in h.dram.words]
+        assert written  # at least one writeback landed
+
+    def test_input_backpressure(self):
+        m = make_rtl()
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x200, 0, 1)
+        accepted = sum(m.accept(pkt, 0) for _ in range(40))
+        assert accepted == 16
+
+    def test_in_flight_tracks_queue(self):
+        m = make_rtl()
+        assert m.in_flight() == 0
+        m.accept(PcxPacket(PcxType.LOAD, 0, 0, 0x200, 0, 1), 0)
+        assert m.in_flight() == 1
+
+
+class TestStateTransfer:
+    def test_roundtrip(self):
+        state = L2BankState(0, AMAP, ways=4)
+        state.install(0x200, list(range(8)), dirty=True)
+        state.lines[AMAP.set_of(0x200)][0].directory = 0b101
+        m = make_rtl()
+        m.load_state(state)
+        back = L2BankState(0, AMAP, ways=4)
+        m.extract_state(back)
+        assert back.snapshot() == state.snapshot()
+
+    def test_corruption_carried_back(self):
+        state = L2BankState(0, AMAP, ways=4)
+        state.install(0x200, [7] * 8)
+        m = make_rtl()
+        m.load_state(state)
+        # corrupt the data SRAM directly (as an injected error would)
+        li = m._line_index(AMAP.set_of(0x200), 0)
+        m.data_sram.write(li, m.data_sram.read(li) ^ 1)
+        back = L2BankState(0, AMAP, ways=4)
+        m.extract_state(back)
+        loc = back.lookup(0x200)
+        assert back.lines[loc[0]][loc[1]].data[0] == 6
+
+
+class TestBenignity:
+    def test_invalid_entry_field_mismatch_benign(self):
+        a, b = make_rtl(), make_rtl()
+        a.flip_bit("iq_data", 3, 10)  # entry 3 is invalid (empty queue)
+        (m,) = a.compare(b)
+        assert a.is_mismatch_benign(m)
+
+    def test_valid_bit_mismatch_not_benign(self):
+        a, b = make_rtl(), make_rtl()
+        a.flip_bit("iq_valid", 3, 0)
+        (m,) = a.compare(b)
+        assert not a.is_mismatch_benign(m)
+
+    def test_occupied_entry_field_not_benign(self):
+        a, b = make_rtl(), make_rtl()
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x200, 0, 1)
+        a.accept(pkt, 0)
+        b.accept(pkt, 0)
+        a.flip_bit("iq_addr", 0, 5)
+        (m,) = a.compare(b)
+        assert not a.is_mismatch_benign(m)
+
+    def test_perf_counter_mismatch_benign(self):
+        a, b = make_rtl(), make_rtl()
+        a.perf_hits.write(5)
+        (m,) = a.compare(b)
+        assert a.is_mismatch_benign(m)
+
+    def test_sram_mismatch_maps_to_highlevel(self):
+        a, b = make_rtl(), make_rtl()
+        a.data_sram.write(0, 1)
+        (m,) = a.compare(b)
+        assert a.mismatch_maps_to_highlevel(m)
+
+
+class TestEquivalenceWithHighLevel:
+    """The RTL model is architecturally equivalent to the functional
+    model: identical per-request replies and identical combined
+    L2-plus-DRAM memory view after drain."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_traffic_equivalence(self, seed):
+        r = random.Random(seed)
+        addrs = [(r.randrange(64) * 512) + (r.randrange(8) * 8) for _ in range(250)]
+        pkts = [
+            PcxPacket(
+                r.choice([PcxType.LOAD, PcxType.STORE, PcxType.STORE,
+                          PcxType.ATOMIC_ADD, PcxType.ATOMIC_TAS]),
+                r.randrange(8), r.randrange(2), a, r.getrandbits(32), i + 1,
+            )
+            for i, a in enumerate(addrs)
+        ]
+
+        def run(make_server, dram):
+            mcu_inbox, replies = [], []
+            server = make_server(lambda req: mcu_inbox.append(req))
+            mcu = HighLevelMcu(0, dram, send_reply=replies.append)
+            pending = list(pkts)
+            out = []
+            for cycle in range(40_000):
+                if pending and server.accept(pending[0], cycle):
+                    pending.pop(0)
+                for req in mcu_inbox:
+                    mcu.accept(req, cycle)
+                mcu_inbox.clear()
+                out.extend(server.tick(cycle))
+                mcu.tick(cycle)
+                for rep in replies:
+                    server.deliver_mcu_reply(rep)
+                replies.clear()
+                if (not pending and server.in_flight() == 0
+                        and mcu.in_flight() == 0 and not mcu_inbox):
+                    break
+            assert server.in_flight() == 0
+            return out, server
+
+        def view(state, dram, a):
+            if AMAP.bank_of(a) == 0:
+                loc = state.lookup(a)
+                if loc:
+                    s, w = loc
+                    return state.lines[s][w].data[AMAP.word_in_line(a)]
+            return dram.read_word(a)
+
+        dram1, dram2 = Dram(), Dram()
+        for i in range(4096):
+            v = random.Random(i).getrandbits(64)
+            dram1.write_word(i * 8, v)
+            dram2.write_word(i * 8, v)
+        state_hl = L2BankState(0, AMAP, ways=4)
+        out_hl, _ = run(
+            lambda send: HighLevelL2Bank(0, state_hl, send_mcu=send), dram1
+        )
+        holder = {}
+
+        def mk(send):
+            holder["rtl"] = L2cRtl(0, AMAP, ways=4, send_mcu=send)
+            return holder["rtl"]
+
+        out_rtl, _ = run(mk, dram2)
+        state_rtl = L2BankState(0, AMAP, ways=4)
+        holder["rtl"].extract_state(state_rtl)
+
+        def by_reqid(out):
+            d = {}
+            for p in out:
+                if p.ctype is not CpxType.INVALIDATE:
+                    d.setdefault(p.reqid, []).append(
+                        (p.ctype, p.core, p.thread, p.addr, p.data)
+                    )
+            return d
+
+        assert by_reqid(out_hl) == by_reqid(out_rtl)
+        all_words = sorted(set(dram1.words) | set(dram2.words))
+        bad = [
+            a for a in all_words
+            if view(state_hl, dram1, a) != view(state_rtl, dram2, a)
+        ]
+        assert bad == []

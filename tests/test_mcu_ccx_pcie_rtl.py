@@ -1,0 +1,281 @@
+"""Tests for the MCU, CCX and PCIe RTL models."""
+
+import random
+
+import pytest
+
+from repro.mem.dram import Dram
+from repro.rtl.registers import FlipFlopClass
+from repro.soc.address import AddressMap
+from repro.soc.geometry import T2_GEOMETRY
+from repro.soc.packets import CpxPacket, CpxType, McuOp, McuRequest, PcxPacket, PcxType
+from repro.uncore.ccx import CcxRtl
+from repro.uncore.highlevel.mcu import HighLevelMcu
+from repro.uncore.mcu import McuRtl
+from repro.uncore.pcie import PcieRtl
+
+AMAP = AddressMap(l2_banks=8, l2_sets=8, mcus=4)
+
+
+def check_inventory(model, component):
+    spec = T2_GEOMETRY[component]
+    counts = model.flip_flop_count_by_class()
+    assert model.flip_flop_count() == spec.flip_flops
+    assert counts[FlipFlopClass.TARGET] == spec.target_ffs
+    assert counts[FlipFlopClass.PROTECTED] == spec.protected_ffs
+    assert counts[FlipFlopClass.INACTIVE] == spec.inactive_ffs
+
+
+class TestMcuRtl:
+    def test_inventory(self):
+        check_inventory(McuRtl(0, Dram()), "mcu")
+
+    def test_hardened_populations_match_sec64(self):
+        m = McuRtl(0, Dram())
+        timing = sum(r.flip_flops for r in m.registers().values() if r.timing_critical)
+        config = sum(r.flip_flops for r in m.registers().values() if r.config)
+        assert timing == 36
+        assert config == 309
+
+    def run_mcu(self, mcu, reqs, max_cycles=20_000):
+        replies = []
+        pending = list(reqs)
+        for cycle in range(max_cycles):
+            if pending and mcu.accept(pending[0], cycle):
+                pending.pop(0)
+            replies.extend(mcu.tick(cycle))
+            if not pending and mcu.in_flight() == 0 and cycle > 10:
+                break
+        assert mcu.in_flight() == 0
+        return replies
+
+    def test_read_returns_memory(self):
+        dram = Dram()
+        dram.write_line(0x40, range(8))
+        mcu = McuRtl(0, dram)
+        replies = self.run_mcu(mcu, [McuRequest(McuOp.READ, 0x40, None, 1, 9)])
+        assert replies[0].data == tuple(range(8))
+        assert replies[0].tag == 9 and replies[0].src_bank == 1
+
+    def test_write_then_read_ordered(self):
+        dram = Dram()
+        mcu = McuRtl(0, dram)
+        replies = self.run_mcu(mcu, [
+            McuRequest(McuOp.WRITE, 0x40, (5,) * 8, 0, 0),
+            McuRequest(McuOp.READ, 0x40, None, 0, 1),
+        ])
+        assert replies[0].data == (5,) * 8
+
+    def test_row_hit_faster_than_row_miss(self):
+        dram = Dram()
+        mcu = McuRtl(0, dram)
+        # two reads to the same row: second should be a row hit
+        self.run_mcu(mcu, [
+            McuRequest(McuOp.READ, 0x0, None, 0, 1),
+            McuRequest(McuOp.READ, 0x40, None, 0, 2),
+        ])
+        assert mcu.perf_row_hits.value >= 1
+
+    def test_refresh_counts(self):
+        mcu = McuRtl(0, Dram())
+        for cycle in range(3000):
+            mcu.tick(cycle)
+        assert mcu.perf_refreshes.value >= 1
+
+    def test_equivalence_with_highlevel(self):
+        r = random.Random(5)
+        reqs = []
+        tag = 0
+        for _ in range(150):
+            addr = r.randrange(512) * 64
+            if r.random() < 0.5:
+                reqs.append(McuRequest(McuOp.READ, addr, None, r.randrange(2), tag))
+                tag += 1
+            else:
+                reqs.append(McuRequest(
+                    McuOp.WRITE, addr, tuple(r.getrandbits(64) for _ in range(8)),
+                    r.randrange(2), 0))
+        d1, d2 = Dram(), Dram()
+        for i in range(8192):
+            v = random.Random(i).getrandbits(64)
+            d1.write_word(i * 8, v)
+            d2.write_word(i * 8, v)
+        hl_replies = []
+        hl = HighLevelMcu(0, d1, send_reply=hl_replies.append)
+        pending = list(reqs)
+        for cycle in range(40_000):
+            if pending and hl.accept(pending[0], cycle):
+                pending.pop(0)
+            hl.tick(cycle)
+            if not pending and hl.in_flight() == 0 and cycle > 10:
+                break
+        rtl = McuRtl(0, d2)
+        rtl_replies = self.run_mcu(rtl, reqs, max_cycles=40_000)
+        a = {x.tag: (x.line_addr, x.data) for x in hl_replies}
+        b = {x.tag: (x.line_addr, x.data) for x in rtl_replies}
+        assert a == b
+        assert not [x for x in set(d1.words) | set(d2.words)
+                    if d1.read_word(x) != d2.read_word(x)]
+
+    def test_benign_rules(self):
+        a, b = McuRtl(0, Dram()), McuRtl(0, Dram())
+        a.flip_bit("rq_addr", 5, 0)  # empty slot
+        (m,) = a.compare(b)
+        assert a.is_mismatch_benign(m)
+        a2, b2 = McuRtl(0, Dram()), McuRtl(0, Dram())
+        a2.flip_bit("rq_valid", 5, 0)
+        (m2,) = a2.compare(b2)
+        assert not a2.is_mismatch_benign(m2)
+
+
+class TestCcxRtl:
+    def test_inventory(self):
+        check_inventory(CcxRtl(AMAP), "ccx")
+
+    def run_ccx(self, ccx, sends, cycles=50):
+        pcx_out, cpx_out = [], []
+        for cycle in range(cycles):
+            for kind, args in sends.get(cycle, []):
+                if kind == "pcx":
+                    ccx.send_pcx(*args, cycle)
+                else:
+                    ccx.send_cpx(*args, cycle)
+            ccx.tick(cycle)
+            pcx_out.extend(ccx.deliver_pcx(cycle))
+            cpx_out.extend(ccx.deliver_cpx(cycle))
+        return pcx_out, cpx_out
+
+    def test_pcx_routed_by_address(self):
+        ccx = CcxRtl(AMAP)
+        pkt = PcxPacket(PcxType.LOAD, 2, 0, 0x1C0, 0, 1)  # bank 7
+        pcx, _ = self.run_ccx(ccx, {0: [("pcx", (7, pkt))]})
+        assert pcx == [(7, pkt)]
+
+    def test_cpx_routed_by_core(self):
+        ccx = CcxRtl(AMAP)
+        pkt = CpxPacket(CpxType.LOAD_RET, 5, 1, 0x40, 9, 3)
+        _, cpx = self.run_ccx(ccx, {0: [("cpx", (pkt, 2))]})
+        assert cpx == [pkt]
+
+    def test_order_preserved_same_source_dest(self):
+        ccx = CcxRtl(AMAP)
+        pkts = [PcxPacket(PcxType.LOAD, 1, 0, 0x40, 0, i) for i in range(1, 6)]
+        sends = {0: [("pcx", (1, p)) for p in pkts]}
+        pcx, _ = self.run_ccx(ccx, sends)
+        assert [p.reqid for _b, p in pcx] == [1, 2, 3, 4, 5]
+
+    def test_corrupted_address_misroutes(self):
+        """A flipped address bit in the FIFO steers the packet to the
+        wrong bank -- the crossbar failure mode of Sec. 3."""
+        ccx = CcxRtl(AMAP)
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x000, 0, 1)  # bank 0
+        ccx.send_pcx(0, pkt, 0)
+        # flip bank-select bit 6 of the latched address
+        slot = 0 * 8 + 0
+        ccx.flip_bit("pcx_fifo_addr", slot, 6)
+        pcx, _ = self.run_ccx(ccx, {})
+        assert pcx[0][0] == 1  # delivered to bank 1
+
+    def test_valid_bit_flip_drops_packet(self):
+        ccx = CcxRtl(AMAP)
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x0, 0, 1)
+        ccx.send_pcx(0, pkt, 0)
+        ccx.flip_bit("pcx_fifo_valid", 0, 0)
+        pcx, _ = self.run_ccx(ccx, {})
+        assert pcx == []
+        assert ccx.protocol_errors >= 1
+
+    def test_fifo_overflow_counted(self):
+        ccx = CcxRtl(AMAP)
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 0x0, 0, 1)
+        for _ in range(12):
+            ccx.send_pcx(0, pkt, 0)
+        assert ccx.dropped == 4  # depth 8
+
+    def test_in_flight(self):
+        ccx = CcxRtl(AMAP)
+        ccx.send_pcx(0, PcxPacket(PcxType.LOAD, 0, 0, 0x0, 0, 1), 0)
+        assert ccx.in_flight() == 1
+
+
+class _SinkPort:
+    def __init__(self):
+        self.writes = []
+
+    def write_word(self, addr, value):
+        self.writes.append((addr, value))
+
+
+class TestPcieRtl:
+    def test_inventory(self):
+        check_inventory(PcieRtl(None), "pcie")
+
+    def run_transfer(self, words, flips=None, cycles=3000):
+        port = _SinkPort()
+        pcie = PcieRtl(port)
+        pcie.begin_transfer(words, dest_base=0x1000, status_addr=0x40, cycle=0)
+        for cycle in range(cycles):
+            if flips and cycle in flips:
+                name, entry, bit = flips[cycle]
+                pcie.flip_bit(name, entry, bit)
+            pcie.tick(cycle)
+            if not pcie.active and pcie.in_flight() == 0:
+                break
+        return port, pcie
+
+    def test_clean_transfer(self):
+        words = [11, 22, 33, 44]
+        port, pcie = self.run_transfer(words)
+        data_writes = {a: v for a, v in port.writes if a != 0x40}
+        assert data_writes == {0x1000 + 8 * i: w for i, w in enumerate(words)}
+        assert (0x40, 1) in port.writes  # completion flag
+        assert pcie.transfer_window()[1] > 0
+
+    def test_rx_buffer_mirrors_stream(self):
+        words = [5, 6, 7]
+        _port, pcie = self.run_transfer(words)
+        assert pcie.rx_buffer.read((0x1000 >> 3) & 1023) == 5
+
+    def test_payload_flip_corrupts_one_word(self):
+        words = [0, 0, 0, 0]
+        port, _ = self.run_transfer(words, flips={2: ("pay_data", 0, 3)})
+        data = [v for a, v in port.writes if a != 0x40]
+        assert sum(1 for v in data if v != 0) == 1
+
+    def test_dest_flip_redirects_stream(self):
+        words = [1] * 8
+        port, _ = self.run_transfer(words, flips={3: ("dma_dest", 0, 20)})
+        addrs = {a for a, _v in port.writes if a != 0x40}
+        assert any(a >= (1 << 20) for a in addrs)
+
+    def test_active_flip_kills_transfer_no_flag(self):
+        """dma_active flip: the stream stops and the completion flag is
+        never written -- the application polls forever (Hang)."""
+        words = [1] * 16
+        port, pcie = self.run_transfer(words, flips={2: ("dma_active", 0, 0)})
+        assert (0x40, 1) not in port.writes
+        assert not pcie.active
+
+    def test_progress_flip_skips_or_repeats(self):
+        words = list(range(1, 17))
+        port, _ = self.run_transfer(words, flips={4: ("dma_progress", 0, 1)})
+        clean_port, _ = self.run_transfer(words)
+        assert port.writes != clean_port.writes
+
+    def test_oversized_length_reads_zeros(self):
+        words = [9, 9]
+        port, pcie = self.run_transfer(words, flips={1: ("dma_len", 0, 4)})
+        # transfer still terminates (reads past the host buffer give 0)
+        assert not pcie.active
+
+    def test_benign_rules(self):
+        a, b = PcieRtl(_SinkPort()), PcieRtl(_SinkPort())
+        a.flip_bit("pay_data", 0, 0)  # pipeline idle: benign
+        (m,) = a.compare(b)
+        assert a.is_mismatch_benign(m)
+
+    def test_replay_buffer_benign(self):
+        a, b = PcieRtl(_SinkPort()), PcieRtl(_SinkPort())
+        a.flip_bit("replay_buffer", 3, 100)
+        (m,) = a.compare(b)
+        assert a.is_mismatch_benign(m)

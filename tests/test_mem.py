@@ -1,0 +1,141 @@
+"""Tests for the memory substrate (repro.mem)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.dram import Dram, WriteTrackingPort, divergent_words
+from repro.mem.l2state import L2BankState
+from repro.soc.address import AddressMap
+
+
+class TestDram:
+    def test_zero_default(self):
+        assert Dram().read_word(0x1000) == 0
+
+    def test_write_read(self):
+        d = Dram()
+        d.write_word(0x40, 0xDEAD)
+        assert d.read_word(0x40) == 0xDEAD
+
+    def test_word_alignment_applied(self):
+        d = Dram()
+        d.write_word(0x43, 7)
+        assert d.read_word(0x40) == 7
+
+    def test_zero_write_keeps_sparse(self):
+        d = Dram()
+        d.write_word(0x40, 5)
+        d.write_word(0x40, 0)
+        assert d.footprint_words() == 0
+
+    def test_line_roundtrip(self):
+        d = Dram()
+        words = tuple(range(1, 9))
+        d.write_line(0x80, words)
+        assert d.read_line(0x80) == words
+
+    def test_fork_is_independent(self):
+        d = Dram()
+        d.write_word(0x40, 1)
+        f = d.fork()
+        d.write_word(0x40, 2)
+        f.write_word(0x48, 3)
+        assert f.read_word(0x40) == 1
+        assert d.read_word(0x48) == 0
+
+    def test_snapshot_restore(self):
+        d = Dram()
+        d.write_word(0x40, 9)
+        snap = d.snapshot()
+        d.write_word(0x40, 0)
+        d.restore(snap)
+        assert d.read_word(0x40) == 9
+
+    @given(st.dictionaries(st.integers(0, 1 << 20).map(lambda a: a & ~7),
+                           st.integers(1, (1 << 64) - 1), max_size=50))
+    def test_fork_equals_original(self, contents):
+        d = Dram()
+        for a, v in contents.items():
+            d.write_word(a, v)
+        f = d.fork()
+        for a in contents:
+            assert f.read_word(a) == d.read_word(a)
+
+
+class TestWriteTracking:
+    def test_records_written_words(self):
+        port = WriteTrackingPort(Dram())
+        port.write_word(0x40, 1)
+        port.write_line(0x80, range(8))
+        assert 0x40 in port.written
+        assert {0x80 + 8 * i for i in range(8)} <= port.written
+
+    def test_divergence_detected_at_candidates(self):
+        live, golden = Dram(), Dram()
+        live.write_word(0x40, 1)
+        golden.write_word(0x40, 2)
+        live.write_word(0x48, 3)
+        golden.write_word(0x48, 3)
+        assert divergent_words(live, golden, [0x40, 0x48]) == [0x40]
+
+    def test_no_divergence(self):
+        d = Dram()
+        d.write_word(0x40, 5)
+        assert divergent_words(d, d.fork(), [0x40]) == []
+
+
+class TestL2BankState:
+    def setup_method(self):
+        self.amap = AddressMap(l2_banks=8, l2_sets=8, mcus=4)
+        self.state = L2BankState(0, self.amap, ways=4)
+
+    def addr(self, set_idx, tag):
+        return self.amap.rebuild_addr(tag, set_idx, 0)
+
+    def test_miss_on_empty(self):
+        assert self.state.lookup(self.addr(0, 1)) is None
+
+    def test_install_then_hit(self):
+        a = self.addr(2, 5)
+        loc = self.state.install(a, list(range(8)))
+        assert self.state.lookup(a) == loc
+
+    def test_victim_prefers_invalid_way(self):
+        a = self.addr(1, 1)
+        self.state.install(a, [0] * 8)
+        assert self.state.choose_victim(1) != self.state.lookup(a)[1]
+
+    def test_victim_rotates_when_full(self):
+        for tag in range(4):
+            self.state.install(self.addr(3, tag), [0] * 8)
+        v1 = self.state.choose_victim(3)
+        v2 = self.state.choose_victim(3)
+        assert v1 != v2
+
+    def test_line_addr_reconstruction(self):
+        a = self.addr(6, 9)
+        s, w = self.state.install(a, [0] * 8)
+        assert self.state.line_addr(s, w) == a
+
+    def test_snapshot_restore(self):
+        a = self.addr(0, 3)
+        self.state.install(a, list(range(8)))
+        snap = self.state.snapshot()
+        self.state.lines[0][0].valid = False
+        self.state.restore(snap)
+        assert self.state.lookup(a) is not None
+
+    def test_resident_lines(self):
+        self.state.install(self.addr(0, 1), [0] * 8)
+        self.state.install(self.addr(4, 2), [0] * 8)
+        assert len(self.state.resident_lines()) == 2
+
+    def test_state_bytes_structure(self):
+        sizes = self.state.state_bytes()
+        assert set(sizes) == {
+            "tag_address_array",
+            "cache_line_state_bits",
+            "cache_data_array",
+            "l1_cache_directory",
+        }
+        assert sizes["cache_data_array"] == 8 * 4 * 64

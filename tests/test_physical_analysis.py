@@ -1,0 +1,125 @@
+"""Tests for the physical cost model, outcome logic, and analysis drivers."""
+
+import pytest
+
+from repro.analysis.figures import CORE_OMM_RATES, fig4_omm_comparison
+from repro.analysis.tables import (
+    build_rtl_model,
+    table1_highlevel_state,
+    table3_inventory,
+    table4_targets,
+    table5_benchmarks,
+)
+from repro.core.cpu import Trap, TrapKind
+from repro.physical import CostModel, compute_table6
+from repro.system.outcome import Outcome, RunResult, classify_outcome
+from repro.utils.render import render_table
+
+
+class TestTable6:
+    """Every number in Table 6 within +-0.5pp of the paper."""
+
+    def test_component_level_qrr(self):
+        t6 = compute_table6()
+        assert t6.qrr.parity_area == pytest.approx(0.325, abs=0.005)
+        assert t6.qrr.parity_power == pytest.approx(0.348, abs=0.005)
+        assert t6.qrr.hardening_area == pytest.approx(0.076, abs=0.005)
+        assert t6.qrr.hardening_power == pytest.approx(0.087, abs=0.005)
+        assert t6.qrr.controller_area == pytest.approx(0.058, abs=0.005)
+        assert t6.qrr.controller_power == pytest.approx(0.039, abs=0.005)
+        assert t6.qrr.total_area == pytest.approx(0.459, abs=0.005)
+        assert t6.qrr.total_power == pytest.approx(0.474, abs=0.005)
+
+    def test_chip_level_qrr(self):
+        t6 = compute_table6()
+        assert t6.qrr_chip_area == pytest.approx(0.0332, abs=0.0005)
+        assert t6.qrr_chip_power == pytest.approx(0.0609, abs=0.0005)
+
+    def test_hardening_only(self):
+        t6 = compute_table6()
+        assert t6.hardening_only_area == pytest.approx(0.603, abs=0.005)
+        assert t6.hardening_only_power == pytest.approx(0.683, abs=0.005)
+        assert t6.hardening_only_chip_area == pytest.approx(0.0434, abs=0.0005)
+        assert t6.hardening_only_chip_power == pytest.approx(0.0878, abs=0.0005)
+
+    def test_savings_vs_hardening(self):
+        """Paper: QRR is 23% / 31% cheaper than hardening everything."""
+        t6 = compute_table6()
+        assert t6.area_saving_vs_hardening == pytest.approx(0.23, abs=0.02)
+        assert t6.power_saving_vs_hardening == pytest.approx(0.31, abs=0.02)
+
+    def test_custom_cost_model_scales(self):
+        cheap = compute_table6(CostModel(parity_area=1.0))
+        assert cheap.qrr.parity_area < compute_table6().qrr.parity_area
+
+
+class TestOutcomeClassification:
+    def golden(self):
+        return {0: 42}
+
+    def test_trap_is_ut(self):
+        res = RunResult(False, 100, {}, trap=Trap(TrapKind.BAD_ADDR, 0, 0, 0))
+        assert classify_outcome(res, self.golden(), True) is Outcome.UT
+
+    def test_hang(self):
+        res = RunResult(False, 100, {}, hung=True)
+        assert classify_outcome(res, self.golden(), True) is Outcome.HANG
+
+    def test_omm_on_output_mismatch(self):
+        res = RunResult(True, 100, {0: 41})
+        assert classify_outcome(res, self.golden(), True) is Outcome.OMM
+
+    def test_ona_when_touched_but_output_ok(self):
+        res = RunResult(True, 100, {0: 42})
+        assert classify_outcome(res, self.golden(), True) is Outcome.ONA
+
+    def test_vanished_when_untouched(self):
+        res = RunResult(True, 100, {0: 42})
+        assert classify_outcome(res, self.golden(), False) is Outcome.VANISHED
+
+    def test_erroneous_property(self):
+        assert Outcome.UT.is_erroneous
+        assert Outcome.ONA.is_erroneous
+        assert not Outcome.VANISHED.is_erroneous
+
+
+class TestAnalysisTables:
+    def test_table1_lists_all_components(self):
+        headers, rows = table1_highlevel_state()
+        text = render_table(headers, rows)
+        assert "Tag" in text or "tag_address_array" in text
+        assert "4GB" in text
+        assert "(none)" in text  # the crossbar row
+
+    def test_table3_uses_model_counts(self):
+        headers, rows = table3_inventory()
+        by_name = {r[0]: r for r in rows}
+        assert by_name["L2 Cache Controller"][2] == 31_675
+        assert by_name["Crossbar Interconnect"][2] == 41_521
+
+    def test_table4_percentages(self):
+        headers, rows = table4_targets()
+        l2c_row = [r for r in rows if r[0].startswith("L2C")][0]
+        assert "58.0%" in l2c_row[1]
+
+    def test_table5_includes_measured_column(self):
+        headers, rows = table5_benchmarks({"fft": 12345})
+        fft_row = [r for r in rows if "(fft)" in r[1]][0]
+        assert fft_row[4] == "12345"
+        assert len(rows) == 18
+
+    def test_build_rtl_model_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            build_rtl_model("niu")
+
+
+class TestFig4:
+    def test_literature_rates_present(self):
+        assert set(CORE_OMM_RATES) == {"LEON", "IVM", "Power", "OR"}
+        assert all(0 < v < 0.05 for v in CORE_OMM_RATES.values())
+
+    def test_comparison_rows(self):
+        rows = fig4_omm_comparison({})
+        kinds = {k for _n, _r, k in rows}
+        assert kinds == {"core"}
+        assert len(rows) == 4

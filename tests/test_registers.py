@@ -1,0 +1,134 @@
+"""Tests for RTL state-element primitives (repro.rtl.registers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl.registers import FlipFlopClass, Register, RegisterArray, SramArray
+
+
+class TestRegister:
+    def test_reset_value(self):
+        reg = Register("r", 8, reset_value=0x5A)
+        assert reg.value == 0x5A
+        reg.write(0xFF)
+        reg.reset()
+        assert reg.value == 0x5A
+
+    def test_write_truncates(self):
+        reg = Register("r", 4)
+        reg.write(0x1F)
+        assert reg.value == 0xF
+
+    def test_flip_is_involution(self):
+        reg = Register("r", 16, reset_value=0x1234)
+        reg.flip(3)
+        reg.flip(3)
+        assert reg.value == 0x1234
+
+    def test_flip_changes_exactly_one_bit(self):
+        reg = Register("r", 16, reset_value=0x1234)
+        reg.flip(5)
+        assert (reg.value ^ 0x1234) == (1 << 5)
+
+    def test_flip_out_of_range(self):
+        reg = Register("r", 4)
+        with pytest.raises(IndexError):
+            reg.flip(4)
+
+    def test_snapshot_restore(self):
+        reg = Register("r", 32)
+        reg.write(0xDEAD)
+        snap = reg.snapshot()
+        reg.write(0)
+        reg.restore(snap)
+        assert reg.value == 0xDEAD
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Register("r", 0)
+        with pytest.raises(ValueError):
+            Register("r", 4, reset_value=0x10)
+
+    def test_default_classification(self):
+        reg = Register("r", 4)
+        assert reg.ff_class is FlipFlopClass.TARGET
+        assert reg.functional
+        assert not reg.config
+
+    @given(st.integers(1, 128), st.data())
+    def test_flip_involution_property(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        bit = data.draw(st.integers(0, width - 1))
+        reg = Register("r", width)
+        reg.write(value)
+        reg.flip(bit)
+        assert reg.value != value
+        reg.flip(bit)
+        assert reg.value == value
+
+
+class TestRegisterArray:
+    def test_flip_flop_count(self):
+        arr = RegisterArray("a", 8, 16)
+        assert arr.flip_flops == 128
+
+    def test_entry_isolation(self):
+        arr = RegisterArray("a", 4, 8)
+        arr.write(2, 0xAB)
+        assert arr.read(2) == 0xAB
+        assert arr.read(1) == 0
+
+    def test_flip_entry(self):
+        arr = RegisterArray("a", 4, 8)
+        arr.flip(0, entry=3)
+        assert arr.read(3) == 1
+        assert arr.read(0) == 0
+
+    def test_flip_bounds(self):
+        arr = RegisterArray("a", 2, 4)
+        with pytest.raises(IndexError):
+            arr.flip(0, entry=2)
+        with pytest.raises(IndexError):
+            arr.flip(4, entry=0)
+
+    def test_reset(self):
+        arr = RegisterArray("a", 4, 8, reset_value=7)
+        arr.write(0, 0xFF)
+        arr.reset()
+        assert list(arr) == [7, 7, 7, 7]
+
+    def test_snapshot_restore_roundtrip(self):
+        arr = RegisterArray("a", 4, 8)
+        arr.write(1, 3)
+        snap = arr.snapshot()
+        arr.write(1, 9)
+        arr.restore(snap)
+        assert arr.read(1) == 3
+
+    def test_restore_wrong_size(self):
+        arr = RegisterArray("a", 4, 8)
+        with pytest.raises(ValueError):
+            arr.restore([0, 0])
+
+
+class TestSramArray:
+    def test_not_a_flip_flop_population(self):
+        sram = SramArray("s", 16, 64)
+        assert not hasattr(sram, "flip_flops")
+
+    def test_write_read_masked(self):
+        sram = SramArray("s", 4, 8)
+        sram.write(0, 0x1FF)
+        assert sram.read(0) == 0xFF
+
+    def test_maps_to_highlevel_default(self):
+        assert SramArray("s", 2, 2).maps_to_highlevel
+        assert not SramArray("s", 2, 2, maps_to_highlevel=False).maps_to_highlevel
+
+    def test_snapshot_restore(self):
+        sram = SramArray("s", 3, 16)
+        sram.write(2, 0xCAFE)
+        snap = sram.snapshot()
+        sram.write(2, 0)
+        sram.restore(snap)
+        assert sram.read(2) == 0xCAFE

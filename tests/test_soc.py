@@ -1,0 +1,146 @@
+"""Tests for SoC fabric: geometry, packets, address map (repro.soc)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.soc.address import AddressMap, LINE_BYTES
+from repro.soc.geometry import (
+    HIGHLEVEL_STATE_BYTES,
+    T2_GEOMETRY,
+    UNCORE_TARGETS,
+    chip_flip_flop_total,
+    chip_gate_total,
+)
+from repro.soc.packets import CpxPacket, CpxType, PcxPacket, PcxType
+
+
+class TestGeometry:
+    """Table 3 and Table 4 constants."""
+
+    def test_table3_flip_flops(self):
+        assert T2_GEOMETRY["core"].flip_flops == 44_288
+        assert T2_GEOMETRY["l2c"].flip_flops == 31_675
+        assert T2_GEOMETRY["mcu"].flip_flops == 18_068
+        assert T2_GEOMETRY["ccx"].flip_flops == 41_521
+        assert T2_GEOMETRY["pcie"].flip_flops == 29_022
+        assert T2_GEOMETRY["niu"].flip_flops == 135_699
+
+    def test_table3_instances(self):
+        assert T2_GEOMETRY["core"].instances == 8
+        assert T2_GEOMETRY["l2c"].instances == 8
+        assert T2_GEOMETRY["mcu"].instances == 4
+        assert T2_GEOMETRY["ccx"].instances == 1
+
+    def test_table4_split_sums_to_total(self):
+        for comp in UNCORE_TARGETS:
+            spec = T2_GEOMETRY[comp]
+            assert (
+                spec.target_ffs + spec.protected_ffs + spec.inactive_ffs
+                == spec.flip_flops
+            )
+
+    def test_table4_target_fractions(self):
+        """The percentages printed in Table 4."""
+        assert T2_GEOMETRY["l2c"].target_fraction == pytest.approx(0.580, abs=0.001)
+        assert T2_GEOMETRY["mcu"].target_fraction == pytest.approx(0.664, abs=0.001)
+        assert T2_GEOMETRY["ccx"].target_fraction == pytest.approx(0.992, abs=0.001)
+        assert T2_GEOMETRY["pcie"].target_fraction == pytest.approx(0.809, abs=0.001)
+
+    def test_chip_totals(self):
+        assert chip_flip_flop_total() > 500_000
+        assert chip_gate_total() > 6_000_000
+
+    def test_table1_sizes(self):
+        l2c = HIGHLEVEL_STATE_BYTES["l2c"]
+        assert l2c["tag_address_array"] == 28 * 1024
+        assert l2c["cache_data_array"] == 512 * 1024
+        assert HIGHLEVEL_STATE_BYTES["mcu"]["dram_contents"] == 4 * 1024**3
+        assert HIGHLEVEL_STATE_BYTES["ccx"] == {}
+        assert HIGHLEVEL_STATE_BYTES["pcie"]["rx_transfer_buffer"] == 8 * 1024
+
+
+class TestPackets:
+    def test_pcx_roundtrip(self):
+        pkt = PcxPacket(PcxType.STORE, 3, 5, 0x12345678, 0xDEADBEEF, 77)
+        assert PcxPacket.unpack_fields(*pkt.pack_fields()) == pkt
+
+    def test_cpx_roundtrip(self):
+        pkt = CpxPacket(CpxType.ATOMIC_RET, 1, 2, 0x40, 9, 3)
+        assert CpxPacket.unpack_fields(*pkt.pack_fields()) == pkt
+
+    def test_malformed_type_decodes_safely(self):
+        pkt = PcxPacket.unpack_fields(7, 0, 0, 0, 0, 0)
+        assert pkt.ptype is PcxType.LOAD  # safe default; consumer flags it
+
+    def test_field_truncation(self):
+        pkt = PcxPacket(PcxType.LOAD, 0, 0, 1 << 45, 0, 1 << 20)
+        fields = pkt.pack_fields()
+        assert fields[3] < (1 << 40)
+        assert fields[5] < (1 << 16)
+
+    @given(
+        st.sampled_from(list(PcxType)),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(0, (1 << 40) - 1),
+        st.integers(0, (1 << 64) - 1),
+        st.integers(0, (1 << 16) - 1),
+    )
+    def test_pcx_roundtrip_property(self, t, core, thread, addr, data, reqid):
+        pkt = PcxPacket(t, core, thread, addr, data, reqid)
+        assert PcxPacket.unpack_fields(*pkt.pack_fields()) == pkt
+
+
+class TestAddressMap:
+    def test_line_interleaving(self):
+        amap = AddressMap()
+        assert amap.bank_of(0x00) == 0
+        assert amap.bank_of(0x40) == 1
+        assert amap.bank_of(0x1C0) == 7
+        assert amap.bank_of(0x200) == 0
+
+    def test_mcu_pairs_banks(self):
+        amap = AddressMap(l2_banks=8, mcus=4)
+        assert amap.banks_of_mcu(0) == (0, 1)
+        assert amap.banks_of_mcu(3) == (6, 7)
+        assert amap.mcu_of_bank(5) == 2
+
+    def test_disjoint_ranges_per_bank(self):
+        """Each L2C instance serves a disjoint address range (the QRR
+        ordering prerequisite)."""
+        amap = AddressMap()
+        seen = {}
+        for line in range(0, 64 * LINE_BYTES, LINE_BYTES):
+            bank = amap.bank_of(line)
+            assert seen.setdefault(line, bank) == bank
+
+    def test_word_alignment_helpers(self):
+        amap = AddressMap()
+        assert amap.word_align(0x47) == 0x40
+        assert amap.is_word_aligned(0x48)
+        assert not amap.is_word_aligned(0x44)
+
+    def test_word_in_line(self):
+        amap = AddressMap()
+        assert amap.word_in_line(0x40) == 0
+        assert amap.word_in_line(0x78) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressMap(l2_banks=6)
+        with pytest.raises(ValueError):
+            AddressMap(l2_banks=8, mcus=16)
+
+    @given(st.integers(0, (1 << 40) - 1))
+    def test_rebuild_addr_roundtrip(self, addr):
+        amap = AddressMap(l2_banks=8, l2_sets=64, mcus=4)
+        line = amap.line_addr(addr)
+        rebuilt = amap.rebuild_addr(
+            amap.tag_of(addr), amap.set_of(addr), amap.bank_of(addr)
+        )
+        assert rebuilt == line
+
+    @given(st.integers(0, (1 << 40) - 1))
+    def test_same_line_same_bank(self, addr):
+        amap = AddressMap()
+        assert amap.bank_of(addr) == amap.bank_of(amap.line_addr(addr))

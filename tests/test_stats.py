@@ -1,0 +1,107 @@
+"""Tests for campaign statistics (repro.utils.stats)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    BinomialEstimate,
+    normal_ci_halfwidth,
+    required_samples,
+    wilson_interval,
+)
+
+
+class TestRequiredSamples:
+    def test_paper_footnote2_sizing(self):
+        """Observing a 1% rate to +-0.1% at 95% needs >40,000 samples."""
+        n = required_samples(0.01, 0.001)
+        assert n > 38_000
+        assert n < 40_000  # exact: ~38,032; the paper rounds up
+
+    def test_tighter_interval_needs_more_samples(self):
+        assert required_samples(0.01, 0.0005) > required_samples(0.01, 0.001)
+
+    def test_rare_events_need_fewer_samples_at_fixed_halfwidth(self):
+        assert required_samples(0.001, 0.001) < required_samples(0.01, 0.001)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            required_samples(0.01, 0.0)
+        with pytest.raises(ValueError):
+            required_samples(1.5, 0.001)
+
+    def test_halfwidth_achieved_by_required_samples(self):
+        rate, hw = 0.02, 0.002
+        n = required_samples(rate, hw)
+        assert normal_ci_halfwidth(rate, n) <= hw + 1e-12
+
+
+class TestNormalHalfwidth:
+    def test_shrinks_with_sqrt_n(self):
+        a = normal_ci_halfwidth(0.01, 1000)
+        b = normal_ci_halfwidth(0.01, 4000)
+        assert b == pytest.approx(a / 2, rel=1e-9)
+
+    def test_zero_rate_is_degenerate(self):
+        assert normal_ci_halfwidth(0.0, 100) == 0.0
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            normal_ci_halfwidth(0.01, 0)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(5, 100)
+        assert low < 0.05 < high
+
+    def test_zero_successes_still_informative(self):
+        low, high = wilson_interval(0, 1000)
+        assert low == 0.0
+        assert 0.0 < high < 0.01
+
+    def test_all_successes(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low > 0.9
+
+    @given(st.integers(1, 10_000), st.data())
+    def test_interval_always_within_unit_range(self, n, data):
+        k = data.draw(st.integers(0, n))
+        low, high = wilson_interval(k, n)
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(st.integers(1, 2_000), st.data())
+    def test_interval_brackets_rate(self, n, data):
+        k = data.draw(st.integers(0, n))
+        low, high = wilson_interval(k, n)
+        assert low <= k / n <= high
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+
+
+class TestBinomialEstimate:
+    def test_rate(self):
+        est = BinomialEstimate(3, 300)
+        assert est.rate == pytest.approx(0.01)
+
+    def test_str_contains_interval(self):
+        text = str(BinomialEstimate(1, 100))
+        assert "[" in text and "n=100" in text
+
+    def test_ci_halfwidth_matches_formula(self):
+        est = BinomialEstimate(10, 1000)
+        expected = 1.959963984540054 * math.sqrt(0.01 * 0.99 / 1000)
+        assert est.ci95_halfwidth == pytest.approx(expected)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            BinomialEstimate(5, 0)
+        with pytest.raises(ValueError):
+            BinomialEstimate(6, 5)

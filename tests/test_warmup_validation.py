@@ -1,0 +1,61 @@
+"""Tests for the Fig. 5 warm-up and Fig. 7 validation experiments."""
+
+import pytest
+
+from repro.mixedmode.validation import ValidationExperiment, ValidationRates
+from repro.mixedmode.warmup import WarmupExperiment
+from repro.system.machine import MachineConfig
+
+
+class TestWarmup:
+    @pytest.fixture(scope="class")
+    def result(self):
+        exp = WarmupExperiment(
+            benchmark="fft",
+            machine_config=MachineConfig(
+                cores=2, threads_per_core=2, l2_banks=8, l2_sets=16
+            ),
+            scale=1 / 300_000,
+        )
+        return exp.run(runs=3, horizon=400)
+
+    def test_difference_decays(self, result):
+        """The Fig. 5 shape: early difference far above the settled tail."""
+        early = result.diff_after(0)
+        late = result.diff_after(result.horizon - 1)
+        assert late < early
+
+    def test_settles_below_paper_threshold(self, result):
+        """Paper: <0.2% microarchitectural difference after warm-up."""
+        assert result.diff_after(result.horizon - 1) < 0.002
+
+    def test_series_shape(self, result):
+        series = result.series(points=5)
+        assert series[0][0] == 0.0
+        assert series[-1][0] == float(result.horizon - 1)
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return ValidationExperiment(
+            machine_config=MachineConfig(
+                cores=2, threads_per_core=2, l2_banks=8, l2_sets=16
+            ),
+            scale=1 / 400_000,
+        )
+
+    def test_rtl_only_arm_runs(self, experiment):
+        rates = experiment.run_rtl_only(5)
+        assert rates.total == 5
+
+    def test_mixed_arm_runs(self, experiment):
+        rates = experiment.run_mixed(5)
+        assert rates.total == 5
+
+    def test_rates_structure(self):
+        rates = ValidationRates("x")
+        rates.add("UT")
+        rates.add(None)
+        assert rates.rate("UT").rate == pytest.approx(0.5)
+        assert rates.rate("Hang").rate == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the 18 benchmark analogues (repro.workloads)."""
+
+import pytest
+
+from repro.system.machine import Machine, MachineConfig
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    PCIE_BENCHMARKS,
+    REGISTRY,
+    build_workload,
+    workload_meta,
+)
+
+CFG = MachineConfig(cores=4, threads_per_core=2, l2_banks=8, l2_sets=16)
+SCALE = 1.0 / 60_000.0
+
+
+def run_benchmark(short, pcie=False, seed=2015):
+    machine = Machine(CFG)
+    machine.load_workload(
+        build_workload(short, threads=CFG.total_threads, scale=SCALE, seed=seed),
+        pcie_input=pcie,
+    )
+    return machine, machine.run(max_cycles=2_000_000)
+
+
+class TestRegistry:
+    def test_eighteen_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 18
+
+    def test_suite_counts_match_table5(self):
+        suites = {}
+        for short in ALL_BENCHMARKS:
+            meta = workload_meta(short)
+            suites[meta.suite] = suites.get(meta.suite, 0) + 1
+        assert suites == {"SPLASH-2": 6, "PARSEC-2.1": 9, "Phoenix": 3}
+
+    def test_twelve_input_file_benchmarks(self):
+        """Table 5: 12 applications have an input data file."""
+        assert len(PCIE_BENCHMARKS) == 12
+
+    def test_paper_cycle_lengths(self):
+        assert workload_meta("barn").paper_cycles == 413_000_000
+        assert workload_meta("rayt").paper_cycles == 1_005_000_000
+        assert workload_meta("p-lr").paper_cycles == 54_000_000
+
+    def test_input_file_sizes(self):
+        assert workload_meta("p-lr").input_file_bytes == 108 * 1024 * 1024
+        assert workload_meta("blsc").input_file_bytes == 258 * 1024
+        assert workload_meta("fft").input_file_bytes == 0
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            workload_meta("nope")
+        with pytest.raises(KeyError):
+            build_workload("nope")
+
+    def test_minimum_threads(self):
+        with pytest.raises(ValueError):
+            build_workload("fft", threads=1)
+
+
+@pytest.mark.parametrize("short", ALL_BENCHMARKS)
+class TestEveryBenchmark:
+    def test_completes_with_output(self, short):
+        _machine, res = run_benchmark(short)
+        assert res.completed, (short, res.trap, res.hung)
+        assert res.trap is None
+        assert res.output, short
+
+    def test_deterministic(self, short):
+        _m1, r1 = run_benchmark(short)
+        _m2, r2 = run_benchmark(short)
+        assert r1.output == r2.output
+        assert r1.cycles == r2.cycles
+
+
+@pytest.mark.parametrize("short", PCIE_BENCHMARKS)
+def test_pcie_dma_mode_matches_direct_load(short):
+    """The DMA'd input must produce the same application output."""
+    _m1, direct = run_benchmark(short, pcie=False)
+    m2, dma = run_benchmark(short, pcie=True)
+    assert direct.completed and dma.completed
+    assert direct.output == dma.output
+    start, end = m2.pcie.transfer_window()
+    assert end > start >= 0
+
+
+def test_different_seeds_change_data_not_structure():
+    _m1, r1 = run_benchmark("fft", seed=1)
+    _m2, r2 = run_benchmark("fft", seed=2)
+    assert r1.completed and r2.completed
+    assert set(r1.output) == set(r2.output)  # same output slots
+    assert r1.output != r2.output  # different data
+
+
+def test_relative_lengths_roughly_preserved():
+    """Longer paper benchmarks stay longer at reproduction scale."""
+    cycles = {}
+    for short in ("p-lr", "radi", "vips"):
+        _m, res = run_benchmark(short)
+        cycles[short] = res.cycles
+    assert cycles["p-lr"] < cycles["vips"]
+    assert cycles["radi"] < cycles["vips"]
+
+
+def test_scale_changes_length():
+    m1 = Machine(CFG)
+    m1.load_workload(build_workload("fft", threads=8, scale=1 / 200_000))
+    short_run = m1.run()
+    m2 = Machine(CFG)
+    m2.load_workload(build_workload("fft", threads=8, scale=1 / 30_000))
+    long_run = m2.run()
+    assert long_run.cycles > short_run.cycles
