@@ -9,9 +9,8 @@ and the analytic improvement factor (paper footnote 15: >100x).
 
 import argparse
 
-from repro.mixedmode.platform import MixedModePlatform
+from repro.api import ExperimentSpec, Session
 from repro.physical import compute_table6
-from repro.qrr.campaign import QrrCampaign
 from repro.qrr.coverage import classify_coverage, improvement_factor
 from repro.system.machine import MachineConfig
 from repro.uncore.l2c import L2cRtl
@@ -24,21 +23,27 @@ def main() -> None:
     args = parser.parse_args()
 
     config = MachineConfig(cores=4, threads_per_core=2, l2_banks=8, l2_sets=16)
-    platform = MixedModePlatform(
-        args.benchmark, machine_config=config, scale=1 / 100_000
-    )
+    session = Session()  # both components reuse one platform + golden run
 
     for component in ("l2c", "mcu"):
-        campaign = QrrCampaign(platform, component)
-        result = campaign.run(args.n, seed=1)
+        result = session.run(
+            ExperimentSpec(
+                benchmark=args.benchmark, component=component, mode="qrr",
+                machine=config, scale=1 / 100_000, seed=1, n=args.n,
+            )
+        )
         print(
             f"{component.upper()}: {result.recovered}/{result.injections} "
             f"recovered (detected {result.detected}); "
             f"failures: {result.failures or 'none'}"
         )
 
+    machine = session.platform(
+        ExperimentSpec(benchmark=args.benchmark, component="l2c", mode="qrr",
+                       machine=config, scale=1 / 100_000, seed=1, n=args.n)
+    ).machine
     coverage = classify_coverage(
-        L2cRtl(0, platform.machine.amap, config.l2_ways, send_mcu=lambda r: None),
+        L2cRtl(0, machine.amap, config.l2_ways, send_mcu=lambda r: None),
         "l2c",
     )
     print(f"\nL2C coverage: {coverage.parity_covered:,} parity-covered, "

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: boot the SoC model, run a benchmark, inject one error.
 
-Demonstrates the three layers of the library in ~40 lines:
+Demonstrates the layers of the library in ~50 lines:
 
 1. the full-system machine running a multi-threaded workload,
 2. the mixed-mode platform (accelerated + RTL co-simulation),
-3. a single flip-flop soft-error injection into the L2 cache controller.
+3. a single flip-flop soft-error injection into the L2 cache controller,
+4. the unified experiment API: spec in, canonical campaign result out.
 """
 
 import random
 
+from repro.api import ExperimentSpec, Session
 from repro.mixedmode.platform import MixedModePlatform
 from repro.system.machine import Machine, MachineConfig
 from repro.workloads import build_workload
@@ -41,6 +43,17 @@ def main() -> None:
     print(f"outcome: {run.outcome.value if run.outcome else 'persistent'} "
           f"(co-simulated {run.cosim.cosim_cycles} cycles, "
           f"ended by {run.cosim.ended_by!r})")
+
+    # --- 4. the same thing through the unified experiment API ---------
+    spec = ExperimentSpec(
+        benchmark="fft", component="l2c", machine=config,
+        scale=1 / 150_000, n=10,
+    )
+    result = Session().run(spec)
+    print(f"campaign cell {spec.label()}: {result.outcome_counts()} "
+          f"(persistent: {result.persistent})")
+    path = result.save("quickstart_result.json")
+    print(f"canonical result saved to {path}")
 
 
 if __name__ == "__main__":

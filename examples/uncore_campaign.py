@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Reproduce a slice of Fig. 3: outcome rates for uncore soft errors.
 
-Runs an injection campaign for each uncore component over a small
-benchmark subset and prints the five-category outcome table, including
-95% confidence intervals for the headline erroneous-outcome rate.
+Expands a component x benchmark grid through the unified experiment API
+and runs it on a pluggable executor -- pass ``--workers 4`` to fan the
+independent campaign cells out over a process pool.  Prints the
+five-category outcome table per component, including 95% confidence
+intervals for the headline erroneous-outcome rate.
 
 At paper scale this would be >40,000 injections per cell (footnote 2);
 adjust ``--n`` upward for tighter intervals.
@@ -11,7 +13,7 @@ adjust ``--n`` upward for tighter intervals.
 
 import argparse
 
-from repro.analysis.figures import fig3_outcome_rates
+from repro.api import Grid, make_executor
 from repro.system.machine import MachineConfig
 from repro.system.outcome import OUTCOME_ORDER
 from repro.utils.render import render_table
@@ -27,6 +29,8 @@ def main() -> None:
     parser.add_argument(
         "--components", nargs="+", default=["l2c", "mcu", "ccx"],
     )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size; 1 runs serially")
     args = parser.parse_args()
 
     print(
@@ -35,22 +39,35 @@ def main() -> None:
         "(paper footnote 2); this demo uses "
         f"{args.n} per cell.\n"
     )
-    config = MachineConfig(cores=4, threads_per_core=2, l2_banks=8, l2_sets=16)
+    grid = Grid(
+        components=tuple(args.components),
+        benchmarks=tuple(args.benchmarks),
+        n=args.n,
+        machine=MachineConfig(
+            cores=4, threads_per_core=2, l2_banks=8, l2_sets=16
+        ),
+        scale=1 / 100_000,
+    )
+    results = make_executor(workers=args.workers).run(grid.specs())
+
     for component in args.components:
-        result = fig3_outcome_rates(
-            component,
-            args.benchmarks,
-            n_injections=args.n,
-            machine_config=config,
+        cells = [r for r in results if r.spec.component == component]
+        if not cells:
+            print(f"{component.upper()}: no valid campaign cells "
+                  f"(PCIe needs benchmarks with an input file)\n")
+            continue
+        headers = (
+            ["benchmark"]
+            + [o.value for o in OUTCOME_ORDER]
+            + ["erroneous (95% CI)"]
         )
-        headers = ["benchmark"] + [o.value for o in OUTCOME_ORDER] + ["erroneous (95% CI)"]
         rows = []
-        for cell in result.cells:
-            row = cell.result.table.row()
-            row.append(str(cell.result.table.erroneous))
-            rows.append(row)
+        for cell in cells:
+            table = cell.outcome_table()
+            rows.append(table.row() + [str(table.erroneous)])
         print(render_table(headers, rows, title=f"Fig. 3 panel: {component.upper()}"))
-        print(f"mean erroneous rate: {result.mean_erroneous():.2%}\n")
+        mean = sum(c.erroneous.rate for c in cells) / len(cells)
+        print(f"mean erroneous rate: {mean:.2%}\n")
 
 
 if __name__ == "__main__":

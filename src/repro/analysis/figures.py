@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.injection.campaign import CampaignResult, InjectionCampaign
-from repro.mixedmode.platform import MixedModePlatform
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.injection.campaign import CampaignResult
 from repro.system.machine import MachineConfig
 from repro.system.outcome import OUTCOME_ORDER, Outcome
 
@@ -77,19 +78,26 @@ def fig3_outcome_rates(
     ),
     scale: float = 1.0 / 100_000.0,
     seed: int = 2015,
+    session: "Session | None" = None,
 ) -> Fig3Result:
-    """Run one Fig. 3 panel: campaigns over the given benchmarks."""
+    """Run one Fig. 3 panel: campaigns over the given benchmarks.
+
+    Pass a shared :class:`~repro.api.session.Session` to reuse platforms
+    (and their golden runs) across panels.
+    """
+    session = session if session is not None else Session()
     out = Fig3Result(component)
     for short in benchmarks:
-        platform = MixedModePlatform(
-            short,
-            machine_config=machine_config,
+        spec = ExperimentSpec(
+            benchmark=short,
+            component=component,
+            mode="injection",
+            machine=machine_config,
             scale=scale,
             seed=seed,
-            pcie_input=(component == "pcie"),
+            n=n_injections,
         )
-        campaign = InjectionCampaign(platform, component, seed=seed)
-        out.cells.append(Fig3Cell(component, short, campaign.run(n_injections)))
+        out.cells.append(Fig3Cell(component, short, session.campaign(spec)))
     return out
 
 

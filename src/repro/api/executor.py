@@ -1,0 +1,109 @@
+"""Pluggable executors: how a list of experiment specs gets run.
+
+The :class:`Executor` protocol is the seam every future scaling backend
+plugs into (sharding, async pools, remote workers).  Two implementations
+ship today:
+
+* :class:`SerialExecutor` -- one session, one process, spec order.
+* :class:`ParallelExecutor` -- a ``concurrent.futures``
+  ``ProcessPoolExecutor`` fan-out.  Specs cross the process boundary as
+  plain dicts and results come back the same way, so nothing
+  unpicklable (machines, snapshots) ever leaves a worker.
+
+Both return results in spec order, and -- because a spec fully
+determines its campaign (stable-digest seeding, per-run snapshot
+restore) -- both produce *identical* results for identical spec lists.
+The sweep CLI asserts exactly that when comparing serial and parallel
+output files.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.api.result import ExperimentResult
+from repro.api.spec import ExperimentSpec
+from repro.api.session import Session
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run a batch of specs and keep their order."""
+
+    def run(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> list[ExperimentResult]: ...
+
+
+class SerialExecutor:
+    """Runs specs one after another in a single session."""
+
+    def __init__(self, session: "Session | None" = None) -> None:
+        self.session = session
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        session = self.session if self.session is not None else Session()
+        return [session.run(spec) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# process-pool backend
+# ----------------------------------------------------------------------
+#: per-worker session, so specs landing in the same worker share
+#: platforms (and their golden runs) across tasks
+_WORKER_SESSION: "Session | None" = None
+
+
+def _worker_session() -> Session:
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        _WORKER_SESSION = Session()
+    return _WORKER_SESSION
+
+
+def _run_spec_dict(spec_dict: dict) -> dict:
+    """Worker entry point: dict in, dict out (always picklable)."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return _worker_session().run(spec).to_dict()
+
+
+class ParallelExecutor:
+    """Fans independent specs out over a process pool.
+
+    Args:
+        workers: pool size; defaults to ``os.cpu_count()``.
+        chunksize: specs handed to a worker per dispatch.  Values > 1
+            help when consecutive specs share a platform key (the grid
+            groups cells per component, so per-benchmark batches reuse
+            golden runs inside one worker).
+    """
+
+    def __init__(self, workers: "int | None" = None, chunksize: int = 1) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.chunksize = max(1, chunksize)
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        specs = list(specs)
+        if not specs:
+            return []
+        # pool.map preserves input order, so results line up with specs
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            dicts = list(
+                pool.map(
+                    _run_spec_dict,
+                    [spec.to_dict() for spec in specs],
+                    chunksize=self.chunksize,
+                )
+            )
+        return [ExperimentResult.from_dict(d) for d in dicts]
+
+
+def make_executor(workers: int = 1, chunksize: int = 1) -> Executor:
+    """``workers <= 1`` selects the serial path, anything else the pool."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=workers, chunksize=chunksize)

@@ -1,0 +1,85 @@
+"""Sweep grids: component x benchmark x seed expansion.
+
+The paper's Fig. 3 is a grid of (component, benchmark) campaign cells;
+:class:`Grid` expands such sweeps into concrete
+:class:`~repro.api.spec.ExperimentSpec` lists that any executor can
+consume.  Invalid combinations (PCIe injections into benchmarks without
+an input file, non-memory components in QRR mode) are dropped during
+expansion, mirroring the paper's own cell selection (Table 5's PCIe
+column, Sec. 6's L2C/MCU protection scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.spec import (
+    DEFAULT_MACHINE,
+    DEFAULT_SCALE,
+    INJECTION_COMPONENTS,
+    QRR_COMPONENTS,
+    ExperimentSpec,
+)
+from repro.system.machine import MachineConfig
+from repro.workloads import ALL_BENCHMARKS, PCIE_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A component x benchmark x seed sweep.
+
+    Expansion order is deterministic: components outermost (one Fig. 3
+    panel per component), then benchmarks, then seeds -- the order the
+    sweep output is reported in regardless of which executor ran it.
+    """
+
+    components: tuple = INJECTION_COMPONENTS
+    benchmarks: tuple = ALL_BENCHMARKS
+    seeds: tuple = (2015,)
+    mode: str = "injection"
+    n: int = 100
+    machine: MachineConfig = field(default_factory=lambda: DEFAULT_MACHINE)
+    scale: float = DEFAULT_SCALE
+
+    def specs(self) -> list[ExperimentSpec]:
+        """All valid cells of the grid, in reporting order."""
+        out: list[ExperimentSpec] = []
+        # golden cells have no injection target: one spec per benchmark
+        components = (None,) if self.mode == "golden" else self.components
+        for component in components:
+            if not self._component_valid(component):
+                continue
+            for benchmark in self.benchmarks:
+                if not self._cell_valid(component, benchmark):
+                    continue
+                for seed in self.seeds:
+                    out.append(
+                        ExperimentSpec(
+                            benchmark=benchmark,
+                            component=component,
+                            mode=self.mode,
+                            machine=self.machine,
+                            scale=self.scale,
+                            seed=seed,
+                            n=self.n,
+                        )
+                    )
+        return out
+
+    def _component_valid(self, component: "str | None") -> bool:
+        if self.mode == "qrr":
+            return component in QRR_COMPONENTS
+        if self.mode == "injection":
+            return component in INJECTION_COMPONENTS
+        return True  # golden mode ignores the component
+
+    def _cell_valid(self, component: str, benchmark: str) -> bool:
+        if self.mode == "injection" and component == "pcie":
+            return benchmark in PCIE_BENCHMARKS
+        return True
+
+    def __len__(self) -> int:
+        return len(self.specs())
+
+    def __iter__(self):
+        return iter(self.specs())

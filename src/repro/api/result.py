@@ -1,0 +1,260 @@
+"""The canonical result schema shared by every campaign path.
+
+All three experiment modes (injection, QRR, golden) reduce to one
+:class:`ExperimentResult`: the spec that produced it, one
+:class:`RunRecord` per run, and the golden-run length.  Aggregates
+(outcome counts, persistent tally, recovery stats, latency samples) are
+derived from the records, so the schema is lossless: ``save()`` followed
+by ``load()`` reproduces an equal object, and merging or re-aggregating
+sweep output never needs the original process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.spec import ExperimentSpec
+from repro.injection.campaign import OutcomeTable
+from repro.system.outcome import OUTCOME_ORDER, Outcome
+from repro.utils.stats import BinomialEstimate
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunRecord:
+    """One run of any experiment mode, in the common schema.
+
+    Unused fields stay ``None``/empty: injection runs fill the outcome
+    and latency fields, QRR runs fill detection/recovery, golden runs
+    fill the error-free execution summary.
+    """
+
+    index: int
+    outcome: "str | None" = None
+    persistent: bool = False
+    instance: "int | None" = None
+    injection_cycle: "int | None" = None
+    flip_location: "tuple[str, int, int] | None" = None
+    #: error-propagation latency to the cores (Fig. 8), if observed
+    propagation_latency: "int | None" = None
+    #: required rollback distance (Fig. 9), if memory was corrupted
+    rollback_distance: "int | None" = None
+    #: QRR: parity detection fired / application recovered correctly
+    detected: "bool | None" = None
+    recovered: "bool | None" = None
+    recovery_cycles: list[int] = field(default_factory=list)
+    #: golden: error-free execution summary
+    cycles: "int | None" = None
+    retired: "int | None" = None
+    output_words: "int | None" = None
+    output_crc: "int | None" = None
+
+    @property
+    def is_erroneous(self) -> bool:
+        return self.outcome is not None and self.outcome != Outcome.VANISHED.value
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "outcome": self.outcome,
+            "persistent": self.persistent,
+            "instance": self.instance,
+            "injection_cycle": self.injection_cycle,
+            "flip_location": (
+                list(self.flip_location) if self.flip_location else None
+            ),
+            "propagation_latency": self.propagation_latency,
+            "rollback_distance": self.rollback_distance,
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "recovery_cycles": list(self.recovery_cycles),
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "output_words": self.output_words,
+            "output_crc": self.output_crc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        loc = data.get("flip_location")
+        return cls(
+            index=data["index"],
+            outcome=data.get("outcome"),
+            persistent=data.get("persistent", False),
+            instance=data.get("instance"),
+            injection_cycle=data.get("injection_cycle"),
+            flip_location=(loc[0], loc[1], loc[2]) if loc else None,
+            propagation_latency=data.get("propagation_latency"),
+            rollback_distance=data.get("rollback_distance"),
+            detected=data.get("detected"),
+            recovered=data.get("recovered"),
+            recovery_cycles=list(data.get("recovery_cycles", ())),
+            cycles=data.get("cycles"),
+            retired=data.get("retired"),
+            output_words=data.get("output_words"),
+            output_crc=data.get("output_crc"),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Spec + per-run records + derived aggregates for one cell."""
+
+    spec: ExperimentSpec
+    records: list[RunRecord] = field(default_factory=list)
+    golden_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # aggregates (all derived, never stored separately)
+    # ------------------------------------------------------------------
+    @property
+    def injections(self) -> int:
+        return len(self.records) if self.spec.mode != "golden" else 0
+
+    @property
+    def persistent(self) -> int:
+        """Runs abandoned at the co-simulation cap (excluded from rates)."""
+        return sum(1 for r in self.records if r.persistent)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Counts per outcome category, in Fig. 3 legend order."""
+        counts = {o.value: 0 for o in OUTCOME_ORDER}
+        for r in self.records:
+            if r.outcome is not None and not r.persistent:
+                counts[r.outcome] += 1
+        return counts
+
+    def outcome_table(self) -> OutcomeTable:
+        """The Fig. 3 outcome table rebuilt from the records."""
+        table = OutcomeTable(self.spec.component or "-", self.spec.benchmark)
+        for r in self.records:
+            table.total += 1
+            if r.persistent:
+                table.persistent += 1
+            elif r.outcome is not None:
+                o = Outcome(r.outcome)
+                table.counts[o] = table.counts.get(o, 0) + 1
+        return table
+
+    @property
+    def erroneous(self) -> BinomialEstimate:
+        """Probability of a non-Vanished outcome (the paper's headline)."""
+        return self.outcome_table().erroneous
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for r in self.records if r.detected)
+
+    @property
+    def recovered(self) -> int:
+        return sum(1 for r in self.records if r.recovered)
+
+    @property
+    def failures(self) -> list[tuple[int, int]]:
+        """QRR runs that did not recover: (instance, injection_cycle)."""
+        return [
+            (r.instance, r.injection_cycle)
+            for r in self.records
+            if r.recovered is False
+        ]
+
+    def propagation_latencies(self) -> list[int]:
+        """Samples for the Fig. 8 CDF."""
+        return [
+            r.propagation_latency
+            for r in self.records
+            if r.propagation_latency is not None
+        ]
+
+    def rollback_distances(self) -> list[int]:
+        """Samples for the Fig. 9 CDF."""
+        return [
+            r.rollback_distance
+            for r in self.records
+            if r.rollback_distance is not None
+        ]
+
+    def recovery_cycles(self) -> list[int]:
+        """All QRR replay durations observed across the campaign."""
+        out: list[int] = []
+        for r in self.records:
+            out.extend(r.recovery_cycles)
+        return out
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "golden_cycles": self.golden_cycles,
+            "records": [r.to_dict() for r in self.records],
+            # derived aggregates, written for scripting convenience;
+            # from_dict ignores them (the records are authoritative)
+            "summary": self.summary(),
+        }
+
+    def summary(self) -> dict:
+        """The aggregate block scripts usually want, JSON-ready."""
+        base = {
+            "mode": self.spec.mode,
+            "component": self.spec.component,
+            "benchmark": self.spec.benchmark,
+            "seed": self.spec.seed,
+            "runs": len(self.records),
+        }
+        if self.spec.mode == "injection":
+            base["outcome_counts"] = self.outcome_counts()
+            base["persistent"] = self.persistent
+            table = self.outcome_table()
+            if table.total:
+                est = table.erroneous
+                base["erroneous"] = {
+                    "successes": est.successes,
+                    "samples": est.samples,
+                }
+        elif self.spec.mode == "qrr":
+            base["detected"] = self.detected
+            base["recovered"] = self.recovered
+            base["failures"] = [list(f) for f in self.failures]
+        else:
+            base["golden_cycles"] = self.golden_cycles
+        return base
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            records=[RunRecord.from_dict(r) for r in data.get("records", ())],
+            golden_cycles=data.get("golden_cycles", 0),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the canonical JSON form (stable key order) to ``path``."""
+        path = Path(path)
+        path.write_text(dumps_canonical(self.to_dict()) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ExperimentResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def dumps_canonical(data) -> str:
+    """JSON with sorted keys and fixed separators: byte-stable output.
+
+    Serial and parallel sweeps must produce byte-identical files, so
+    every JSON artefact goes through this one encoder.
+    """
+    return json.dumps(data, indent=2, sort_keys=True)

@@ -1,0 +1,195 @@
+"""The session facade: specs in, canonical results out.
+
+A :class:`Session` owns the expensive state -- mixed-mode platforms and
+their golden runs -- and resolves :class:`~repro.api.spec.ExperimentSpec`
+instances into campaigns.  Platforms are cached by
+``spec.platform_key()``, so a sweep over four components of one
+benchmark pays for one golden run, not four.
+
+Determinism contract: ``Session().run(spec)`` depends only on the spec.
+Every injection run restores a golden snapshot before executing and the
+campaign RNG is derived from stable digests of (seed, component), so the
+same spec produces the same result in any process -- the property the
+parallel executor relies on.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.api.result import ExperimentResult, RunRecord
+from repro.api.spec import ExperimentSpec
+from repro.injection.campaign import CampaignResult, InjectionCampaign
+from repro.mixedmode.platform import (
+    CosimConfig,
+    GoldenRun,
+    InjectionRun,
+    MixedModePlatform,
+    compute_golden,
+)
+from repro.qrr.campaign import QrrCampaign, QrrCampaignResult
+from repro.system.machine import Machine
+from repro.workloads import build_workload
+
+
+class Session:
+    """Resolves experiment specs into platforms, campaigns and results."""
+
+    def __init__(self, cache_platforms: bool = True) -> None:
+        self._cache_platforms = cache_platforms
+        self._platforms: dict[tuple, MixedModePlatform] = {}
+
+    # ------------------------------------------------------------------
+    # platform resolution
+    # ------------------------------------------------------------------
+    def platform(self, spec: ExperimentSpec) -> MixedModePlatform:
+        """The (cached) mixed-mode platform for a spec's workload cell."""
+        key = spec.platform_key()
+        platform = self._platforms.get(key)
+        if platform is None:
+            platform = MixedModePlatform(
+                spec.benchmark,
+                machine_config=spec.machine,
+                scale=spec.scale,
+                seed=spec.seed,
+                pcie_input=spec.pcie_input,
+            )
+            if self._cache_platforms:
+                self._platforms[key] = platform
+        return platform
+
+    def clear(self) -> None:
+        """Drop all cached platforms (frees snapshots and machines)."""
+        self._platforms.clear()
+
+    # ------------------------------------------------------------------
+    # the single front door
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Run one experiment cell and return the canonical result."""
+        if spec.mode == "injection":
+            return self._run_injection(spec)
+        if spec.mode == "qrr":
+            return self._run_qrr(spec)
+        return self._run_golden(spec)
+
+    def run_many(self, specs) -> list[ExperimentResult]:
+        """Run specs sequentially in this session (see also executors)."""
+        return [self.run(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # full-fidelity access (in-process callers: figures, benches)
+    # ------------------------------------------------------------------
+    def campaign(self, spec: ExperimentSpec) -> CampaignResult:
+        """The raw injection-campaign result with live ``InjectionRun``s.
+
+        The canonical schema keeps everything the analyses need, but
+        in-process callers (e.g. the figure drivers) can use this to
+        reach the full co-simulation records.
+        """
+        if spec.mode != "injection":
+            raise ValueError(f"campaign() needs an injection spec, got {spec.mode!r}")
+        platform = self.platform(spec)
+        return InjectionCampaign(
+            platform, spec.component, seed=spec.seed
+        ).run(spec.n)
+
+    # ------------------------------------------------------------------
+    # mode drivers
+    # ------------------------------------------------------------------
+    def _run_injection(self, spec: ExperimentSpec) -> ExperimentResult:
+        platform = self.platform(spec)
+        raw = InjectionCampaign(platform, spec.component, seed=spec.seed).run(
+            spec.n
+        )
+        records = [
+            _record_from_injection(i, run) for i, run in enumerate(raw.runs)
+        ]
+        return ExperimentResult(
+            spec=spec, records=records, golden_cycles=platform.golden.cycles
+        )
+
+    def _run_qrr(self, spec: ExperimentSpec) -> ExperimentResult:
+        platform = self.platform(spec)
+        raw: QrrCampaignResult = QrrCampaign(platform, spec.component).run(
+            spec.n, seed=spec.seed
+        )
+        records = [
+            RunRecord(
+                index=i,
+                instance=run.instance,
+                injection_cycle=run.injection_cycle,
+                detected=run.detected,
+                recovered=run.recovered,
+                recovery_cycles=list(run.recovery_cycles),
+            )
+            for i, run in enumerate(raw.runs)
+        ]
+        return ExperimentResult(
+            spec=spec, records=records, golden_cycles=platform.golden.cycles
+        )
+
+    def _run_golden(self, spec: ExperimentSpec) -> ExperimentResult:
+        golden = self._golden(spec)
+        record = RunRecord(
+            index=0,
+            cycles=golden.cycles,
+            retired=golden.retired,
+            output_words=len(golden.output),
+            output_crc=_output_crc(golden.output),
+        )
+        return ExperimentResult(
+            spec=spec, records=[record], golden_cycles=golden.cycles
+        )
+
+    def _golden(self, spec: ExperimentSpec) -> GoldenRun:
+        """The error-free reference for a golden-mode spec.
+
+        Reuses a cached platform's golden run when one exists; otherwise
+        runs the machine directly without keeping periodic snapshots --
+        nothing will ever restore into a golden-only run, and the
+        snapshots dominate its cost.
+        """
+        platform = self._platforms.get(spec.platform_key())
+        if platform is not None:
+            return platform.golden
+        image = build_workload(
+            spec.benchmark,
+            threads=spec.machine.total_threads,
+            scale=spec.scale,
+            seed=spec.seed,
+        )
+        machine = Machine(spec.machine)
+        machine.load_workload(image, pcie_input=spec.pcie_input)
+        return compute_golden(
+            machine,
+            CosimConfig(),
+            want_pcie_window=(
+                image.input_file_words is not None and spec.pcie_input
+            ),
+            keep_snapshots=False,
+        )
+
+
+# ----------------------------------------------------------------------
+# record converters
+# ----------------------------------------------------------------------
+def _record_from_injection(index: int, run: InjectionRun) -> RunRecord:
+    return RunRecord(
+        index=index,
+        outcome=run.outcome.value if run.outcome is not None else None,
+        persistent=run.persistent,
+        instance=run.instance,
+        injection_cycle=run.injection_cycle,
+        flip_location=tuple(run.flip_location),
+        propagation_latency=run.propagation_latency,
+        rollback_distance=run.rollback_distance,
+    )
+
+
+def _output_crc(output: dict[int, int]) -> int:
+    """Stable checksum of the application output channel."""
+    blob = ";".join(
+        f"{slot}:{value}" for slot, value in sorted(output.items())
+    ).encode()
+    return zlib.crc32(blob)

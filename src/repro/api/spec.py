@@ -1,0 +1,153 @@
+"""Experiment specifications -- the unit of work of the unified API.
+
+An :class:`ExperimentSpec` names everything needed to reproduce one
+campaign cell: the benchmark, the target component, the machine
+geometry, the workload scale, the seed, and the number of injections.
+Specs are frozen, hashable, and round-trip losslessly through plain
+dicts/JSON, which is what lets the executors ship them to worker
+processes and lets results embed the spec that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.system.machine import MachineConfig
+from repro.workloads import ALL_BENCHMARKS, PCIE_BENCHMARKS
+
+#: Experiment modes understood by the session layer.
+MODES = ("injection", "qrr", "golden")
+
+#: Components accepted for plain injection campaigns (paper Fig. 3).
+INJECTION_COMPONENTS = ("l2c", "mcu", "ccx", "pcie")
+
+#: Components protected by QRR (paper Sec. 6: the memory subsystem).
+QRR_COMPONENTS = ("l2c", "mcu")
+
+#: Campaign-facing machine geometry (the T2 configuration the CLI and
+#: the benches use; tests pass smaller geometries explicitly).
+DEFAULT_MACHINE = MachineConfig(
+    cores=8, threads_per_core=4, l2_banks=8, l2_sets=8, l2_ways=4
+)
+
+#: Default workload scale for campaigns (cycle budget ~1/40,000 of the
+#: paper's Table 5 lengths).
+DEFAULT_SCALE = 1.0 / 40_000.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-determined experiment cell.
+
+    Attributes:
+        benchmark: Table 5 abbreviation (``fft``, ``p-wc``, ...).
+        component: injection target (``l2c``/``mcu``/``ccx``/``pcie``);
+            ``None`` for golden runs.
+        mode: ``injection`` (Fig. 3 outcome campaign), ``qrr``
+            (Sec. 6.4 recovery campaign) or ``golden`` (error-free run).
+        machine: machine geometry and timing.
+        scale: workload cycle-budget scale relative to Table 5.
+        seed: campaign seed; drives workload data generation and
+            injection-point sampling.
+        n: number of injection runs (ignored for ``golden``).
+    """
+
+    benchmark: str = "fft"
+    component: "str | None" = "l2c"
+    mode: str = "injection"
+    machine: MachineConfig = field(default_factory=lambda: DEFAULT_MACHINE)
+    scale: float = DEFAULT_SCALE
+    seed: int = 2015
+    n: int = 100
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; known: {MODES}")
+        if self.benchmark not in ALL_BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r}; "
+                f"known: {sorted(ALL_BENCHMARKS)}"
+            )
+        if self.mode == "golden":
+            # golden runs have no injection target; component == "pcie"
+            # survives as "DMA the input file over PCIe"
+            if self.component == "pcie":
+                if self.benchmark not in PCIE_BENCHMARKS:
+                    raise ValueError(
+                        f"benchmark {self.benchmark!r} has no input file to "
+                        f"DMA over PCIe"
+                    )
+            elif self.component is not None:
+                object.__setattr__(self, "component", None)
+        elif self.mode == "injection":
+            if self.component not in INJECTION_COMPONENTS:
+                raise ValueError(
+                    f"injection component must be one of "
+                    f"{INJECTION_COMPONENTS}, got {self.component!r}"
+                )
+            if (
+                self.component == "pcie"
+                and self.benchmark not in PCIE_BENCHMARKS
+            ):
+                raise ValueError(
+                    f"benchmark {self.benchmark!r} has no input file; PCIe "
+                    f"injections need one of {sorted(PCIE_BENCHMARKS)}"
+                )
+        elif self.mode == "qrr":
+            if self.component not in QRR_COMPONENTS:
+                raise ValueError(
+                    f"QRR protects {QRR_COMPONENTS}, got {self.component!r}"
+                )
+        if self.mode != "golden" and self.n < 1:
+            raise ValueError("n must be at least 1")
+        if self.scale <= 0.0:
+            raise ValueError("scale must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def pcie_input(self) -> bool:
+        """Whether the platform must DMA the input file over PCIe."""
+        return self.component == "pcie"
+
+    def platform_key(self) -> tuple:
+        """Cache key: specs sharing it can share one platform/golden run."""
+        return (
+            self.benchmark,
+            self.machine,
+            self.scale,
+            self.seed,
+            self.pcie_input,
+        )
+
+    def label(self) -> str:
+        """Short human-readable cell name for logs and progress output."""
+        comp = self.component or "-"
+        return f"{self.mode}:{comp}:{self.benchmark}:seed={self.seed}"
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "component": self.component,
+            "mode": self.mode,
+            "machine": self.machine.to_dict(),
+            "scale": self.scale,
+            "seed": self.seed,
+            "n": self.n,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(
+            benchmark=data["benchmark"],
+            component=data.get("component"),
+            mode=data.get("mode", "injection"),
+            machine=MachineConfig.from_dict(data.get("machine", {})),
+            scale=data.get("scale", DEFAULT_SCALE),
+            seed=data.get("seed", 2015),
+            n=data.get("n", 100),
+        )

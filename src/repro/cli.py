@@ -1,9 +1,16 @@
 """Command-line interface for the reproduction.
 
+All commands are thin wrappers over the unified experiment API
+(:mod:`repro.api`): they compose an :class:`~repro.api.ExperimentSpec`
+(or a :class:`~repro.api.Grid` of them), hand it to a
+:class:`~repro.api.Session` or executor, and format the canonical
+result.
+
 Usage::
 
     python -m repro.cli campaign --component l2c --benchmark fft --n 200
-    python -m repro.cli qrr --component mcu --n 50
+    python -m repro.cli qrr --component mcu --n 50 --json -
+    python -m repro.cli sweep --n 20 --workers 4 --json out.json
     python -m repro.cli tables
     python -m repro.cli run --benchmark p-wc
 """
@@ -19,13 +26,19 @@ from repro.analysis.tables import (
     table4_targets,
     table5_benchmarks,
 )
-from repro.injection.campaign import InjectionCampaign
-from repro.mixedmode.platform import MixedModePlatform
-from repro.qrr.campaign import QrrCampaign
-from repro.system.machine import Machine, MachineConfig
+from repro.api import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    ExperimentSpec,
+    Grid,
+    Session,
+    dumps_canonical,
+    make_executor,
+)
+from repro.system.machine import MachineConfig
 from repro.system.outcome import OUTCOME_ORDER
 from repro.utils.render import render_table
-from repro.workloads import ALL_BENCHMARKS, build_workload
+from repro.workloads import ALL_BENCHMARKS
 
 
 def _machine_config(args) -> MachineConfig:
@@ -38,57 +51,172 @@ def _machine_config(args) -> MachineConfig:
     )
 
 
-def cmd_run(args) -> int:
-    machine = Machine(_machine_config(args))
-    machine.load_workload(
-        build_workload(
-            args.benchmark,
-            threads=_machine_config(args).total_threads,
+class _UserError(Exception):
+    """An invalid spec combination the user asked for (exit code 2)."""
+
+
+def _spec(args, mode: str, component: "str | None" = None) -> ExperimentSpec:
+    try:
+        return ExperimentSpec(
+            benchmark=args.benchmark,
+            component=component,
+            mode=mode,
+            machine=_machine_config(args),
             scale=args.scale,
             seed=args.seed,
-        ),
-        pcie_input=args.pcie,
-    )
-    result = machine.run()
+            n=getattr(args, "n", 1),
+        )
+    except ValueError as exc:
+        raise _UserError(str(exc)) from exc
+
+
+def _emit_text(text: str, dest: str) -> None:
+    """Write JSON text to a file or stdout (``-``)."""
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _emit_json(result: ExperimentResult, dest: str) -> None:
+    """Write the canonical result JSON to a file or stdout (``-``)."""
+    _emit_text(dumps_canonical(result.to_dict()), dest)
+
+
+def cmd_run(args) -> int:
+    try:
+        result = Session().run(
+            _spec(args, "golden", component="pcie" if args.pcie else None)
+        )
+    except RuntimeError as exc:
+        print(f"{args.benchmark}: completed=False ({exc})")
+        return 1
+    record = result.records[0]
     print(
-        f"{args.benchmark}: completed={result.completed} cycles={result.cycles} "
-        f"retired={result.retired} outputs={len(result.output)}"
+        f"{args.benchmark}: completed=True cycles={record.cycles} "
+        f"retired={record.retired} outputs={record.output_words}"
     )
-    return 0 if result.completed else 1
+    return 0
 
 
 def cmd_campaign(args) -> int:
-    platform = MixedModePlatform(
-        args.benchmark,
-        machine_config=_machine_config(args),
-        scale=args.scale,
-        seed=args.seed,
-        pcie_input=(args.component == "pcie"),
-    )
-    campaign = InjectionCampaign(platform, args.component, seed=args.seed)
-    result = campaign.run(args.n)
+    result = Session().run(_spec(args, "injection", component=args.component))
+    if args.json:
+        _emit_json(result, args.json)
+        return 0
+    table = result.outcome_table()
     headers = ["benchmark"] + [o.value for o in OUTCOME_ORDER] + ["erroneous"]
-    row = result.table.row() + [str(result.table.erroneous)]
+    row = table.row() + [str(table.erroneous)]
     print(render_table(headers, [row], title=f"{args.component.upper()} campaign"))
-    print(f"persistent runs (excluded from rates): {result.table.persistent}")
+    print(f"persistent runs (excluded from rates): {table.persistent}")
     return 0
 
 
 def cmd_qrr(args) -> int:
-    platform = MixedModePlatform(
-        args.benchmark,
-        machine_config=_machine_config(args),
+    result = Session().run(_spec(args, "qrr", component=args.component))
+    ok = result.recovered == result.injections
+    if args.json:
+        _emit_json(result, args.json)
+    else:
+        print(
+            f"QRR {args.component.upper()}: {result.recovered}/"
+            f"{result.injections} recovered ({result.detected} detected); "
+            f"failures: {result.failures or 'none'}"
+        )
+    return 0 if ok else 1
+
+
+def cmd_sweep(args) -> int:
+    grid = Grid(
+        components=tuple(args.components),
+        benchmarks=tuple(args.benchmarks),
+        seeds=tuple(args.seeds),
+        mode=args.mode,
+        n=args.n,
+        machine=_machine_config(args),
         scale=args.scale,
-        seed=args.seed,
     )
-    campaign = QrrCampaign(platform, args.component)
-    result = campaign.run(args.n, seed=args.seed)
+    try:
+        specs = grid.specs()
+    except ValueError as exc:
+        raise _UserError(str(exc)) from exc
+    if not specs:
+        print("sweep grid is empty (no valid component x benchmark cells)")
+        return 1
+    executor = make_executor(workers=args.workers, chunksize=args.chunksize)
     print(
-        f"QRR {args.component.upper()}: {result.recovered}/{result.injections} "
-        f"recovered ({result.detected} detected); failures: "
-        f"{result.failures or 'none'}"
+        f"sweep: {len(specs)} cells x {args.n} runs "
+        f"({executor.__class__.__name__}, workers={args.workers})"
     )
-    return 0 if result.recovered == result.injections else 1
+    results = executor.run(specs)
+
+    _print_sweep_tables(results)
+    if args.json:
+        payload = {
+            "schema_version": results[0].to_dict()["schema_version"],
+            "grid": {
+                "components": list(grid.components),
+                "benchmarks": list(grid.benchmarks),
+                "seeds": list(grid.seeds),
+                "mode": grid.mode,
+                "n": grid.n,
+                "machine": grid.machine.to_dict(),
+                "scale": grid.scale,
+            },
+            "results": [r.to_dict() for r in results],
+        }
+        _emit_text(dumps_canonical(payload), args.json)
+        if args.json != "-":
+            print(f"wrote {len(results)} cell results to {args.json}")
+    return 0
+
+
+def _print_sweep_tables(results: list[ExperimentResult]) -> None:
+    """One panel per (component, seed), rows in benchmark order."""
+    panels: dict[tuple, list[ExperimentResult]] = {}
+    for result in results:
+        panels.setdefault((result.spec.component, result.spec.seed), []).append(
+            result
+        )
+    for (component, seed), cell_results in panels.items():
+        mode = cell_results[0].spec.mode
+        if mode == "injection":
+            headers = (
+                ["benchmark"]
+                + [o.value for o in OUTCOME_ORDER]
+                + ["erroneous"]
+            )
+            rows = []
+            for r in cell_results:
+                table = r.outcome_table()
+                rows.append(table.row() + [str(table.erroneous)])
+            title = f"{(component or '-').upper()} sweep (seed {seed})"
+        elif mode == "qrr":
+            headers = ["benchmark", "recovered", "detected", "failures"]
+            rows = [
+                [
+                    r.spec.benchmark,
+                    f"{r.recovered}/{r.injections}",
+                    str(r.detected),
+                    str(len(r.failures)),
+                ]
+                for r in cell_results
+            ]
+            title = f"QRR {(component or '-').upper()} sweep (seed {seed})"
+        else:
+            headers = ["benchmark", "cycles", "outputs"]
+            rows = [
+                [
+                    r.spec.benchmark,
+                    str(r.golden_cycles),
+                    str(r.records[0].output_words),
+                ]
+                for r in cell_results
+            ]
+            title = f"golden sweep (seed {seed})"
+        print(render_table(headers, rows, title=title))
+        print()
 
 
 def cmd_tables(_args) -> int:
@@ -115,8 +243,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads-per-core", type=int, default=4)
         p.add_argument("--l2-sets", type=int, default=8)
         p.add_argument("--l2-ways", type=int, default=4)
-        p.add_argument("--scale", type=float, default=1 / 40_000)
+        p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
         p.add_argument("--seed", type=int, default=2015)
+
+    def json_flag(p):
+        p.add_argument(
+            "--json", nargs="?", const="-", default=None, metavar="FILE",
+            help="emit the canonical ExperimentResult JSON "
+                 "(to FILE, or stdout when no FILE is given)",
+        )
 
     p = sub.add_parser("run", help="run one benchmark error-free")
     common(p)
@@ -128,13 +263,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--component", default="l2c",
                    choices=["l2c", "mcu", "ccx", "pcie"])
     p.add_argument("--n", type=int, default=100)
+    json_flag(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("qrr", help="run a QRR effectiveness campaign")
     common(p)
     p.add_argument("--component", default="l2c", choices=["l2c", "mcu"])
     p.add_argument("--n", type=int, default=25)
+    json_flag(p)
     p.set_defaults(func=cmd_qrr)
+
+    p = sub.add_parser(
+        "sweep", help="run a component x benchmark x seed campaign grid"
+    )
+    common(p, benchmark=False)
+    p.add_argument(
+        "--components", nargs="+", default=["l2c", "mcu", "ccx", "pcie"],
+        choices=["l2c", "mcu", "ccx", "pcie"],
+    )
+    p.add_argument(
+        "--benchmarks", nargs="+", default=list(ALL_BENCHMARKS),
+        choices=ALL_BENCHMARKS,
+    )
+    p.add_argument("--seeds", nargs="+", type=int, default=None,
+                   help="campaign seeds (default: --seed)")
+    p.add_argument("--mode", default="injection",
+                   choices=["injection", "qrr", "golden"])
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size; 1 runs serially")
+    p.add_argument("--chunksize", type=int, default=1)
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="persist all cell results ('-' for stdout)")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("tables", help="print the inventory tables")
     p.set_defaults(func=cmd_tables)
@@ -143,7 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.command == "sweep" and args.seeds is None:
+        args.seeds = [args.seed]
+    try:
+        return args.func(args)
+    except _UserError as exc:
+        # invalid spec combinations (e.g. PCIe into a benchmark without
+        # an input file) are user errors, not crashes; genuine internal
+        # errors still raise with a full traceback
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

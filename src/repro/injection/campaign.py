@@ -10,6 +10,7 @@ the Vanished bucket for the Fig. 3 rates, exactly as the paper does.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.mixedmode.platform import InjectionRun, MixedModePlatform
@@ -103,7 +104,12 @@ class InjectionCampaign:
         self.seed = seed
 
     def run(self, n_injections: int) -> CampaignResult:
-        rng = random.Random((self.seed << 16) ^ hash(self.component) & 0xFFFF)
+        # stable digest, NOT hash(): str hashes vary across interpreter
+        # runs under PYTHONHASHSEED randomization, which would make
+        # campaigns unreproducible across processes
+        rng = random.Random(
+            (self.seed << 16) ^ (zlib.crc32(self.component.encode()) & 0xFFFF)
+        )
         table = OutcomeTable(self.component, self.platform.benchmark)
         result = CampaignResult(table)
         for _ in range(n_injections):

@@ -67,6 +67,7 @@ class GoldenRun:
     output: dict[int, int]
     snapshots: dict[int, dict]
     pcie_window: "tuple[int, int] | None" = None
+    retired: int = 0
 
     def snapshot_at_or_before(self, cycle: int) -> tuple[int, dict]:
         best = 0
@@ -113,6 +114,46 @@ class InjectionRun:
         return self.outcome is not None and self.outcome.is_erroneous
 
 
+def compute_golden(
+    machine: Machine,
+    cosim: CosimConfig,
+    want_pcie_window: bool = False,
+    keep_snapshots: bool = True,
+) -> GoldenRun:
+    """Run a loaded machine to completion as the error-free reference.
+
+    ``keep_snapshots=False`` skips the periodic whole-machine snapshots
+    -- the right mode for golden-only experiments that will never
+    restore into the run (snapshots dominate the golden run's memory
+    and time cost).
+    """
+    snapshots = {0: machine.snapshot()} if keep_snapshots else {}
+    cf = cosim.snapshot_interval
+    watchdog = machine.config.watchdog_cycles
+    cap = machine.config.max_cycles
+    while True:
+        if machine.all_halted():
+            break
+        trap = machine.any_trap()
+        if trap is not None:
+            raise RuntimeError(f"golden run trapped: {trap}")
+        if machine.cycle >= cap:
+            raise RuntimeError("golden run exceeded the cycle cap")
+        if machine.cycle - machine._last_retire_cycle > watchdog:
+            raise RuntimeError("golden run hung")
+        machine.step()
+        if keep_snapshots and machine.cycle % cf == 0:
+            snapshots[machine.cycle] = machine.snapshot()
+    window = machine.pcie.transfer_window() if want_pcie_window else None
+    return GoldenRun(
+        cycles=machine.cycle,
+        output=dict(machine.output),
+        snapshots=snapshots,
+        pcie_window=window,
+        retired=machine.retired_total,
+    )
+
+
 class MixedModePlatform:
     """Owns one machine + workload and runs injection experiments."""
 
@@ -146,32 +187,12 @@ class MixedModePlatform:
         return machine
 
     def _golden_run(self) -> GoldenRun:
-        machine = self.machine
-        snapshots = {0: machine.snapshot()}
-        cf = self.cosim.snapshot_interval
-        watchdog = self.machine_config.watchdog_cycles
-        cap = self.machine_config.max_cycles
-        while True:
-            if machine.all_halted():
-                break
-            trap = machine.any_trap()
-            if trap is not None:
-                raise RuntimeError(f"golden run trapped: {trap}")
-            if machine.cycle >= cap:
-                raise RuntimeError("golden run exceeded the cycle cap")
-            if machine.cycle - machine._last_retire_cycle > watchdog:
-                raise RuntimeError("golden run hung")
-            machine.step()
-            if machine.cycle % cf == 0:
-                snapshots[machine.cycle] = machine.snapshot()
-        window = None
-        if self.image.input_file_words is not None and self.pcie_input:
-            window = machine.pcie.transfer_window()
-        return GoldenRun(
-            cycles=machine.cycle,
-            output=dict(machine.output),
-            snapshots=snapshots,
-            pcie_window=window,
+        return compute_golden(
+            self.machine,
+            self.cosim,
+            want_pcie_window=(
+                self.image.input_file_words is not None and self.pcie_input
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -18,6 +18,17 @@ from repro.qrr.servers import QrrL2cServer, QrrMcuServer
 
 
 @dataclass
+class QrrRun:
+    """Record of one QRR-protected injection run."""
+
+    instance: int
+    injection_cycle: int
+    detected: bool
+    recovered: bool
+    recovery_cycles: list[int] = field(default_factory=list)
+
+
+@dataclass
 class QrrCampaignResult:
     """Aggregate of one QRR injection campaign."""
 
@@ -28,6 +39,7 @@ class QrrCampaignResult:
     recovered: int = 0
     failures: list[tuple] = field(default_factory=list)
     recovery_cycles: list[int] = field(default_factory=list)
+    runs: list[QrrRun] = field(default_factory=list)
 
     @property
     def recovery_rate(self) -> float:
@@ -78,6 +90,9 @@ class QrrCampaign:
             else:
                 result.failures.append((instance, cycle))
             result.recovery_cycles.extend(rec_cycles)
+            result.runs.append(
+                QrrRun(instance, cycle, bool(detected), run_ok, list(rec_cycles))
+            )
         return result
 
     def _one_run(self, instance: int, cycle: int, rng, covered_cache_holder):

@@ -18,6 +18,7 @@ The machine also provides the services the analyses need:
 from __future__ import annotations
 
 import bisect
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -60,6 +61,16 @@ class MachineConfig:
     @property
     def total_threads(self) -> int:
         return self.cores * self.threads_per_core
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the experiment-spec JSON schema."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class _DmaPort:

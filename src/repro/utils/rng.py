@@ -2,19 +2,33 @@
 
 Injection campaigns must be reproducible and parallel-safe: every
 injection run derives its own stream from (campaign seed, run index), so
-re-running any single run in isolation reproduces it exactly.
+re-running any single run in isolation reproduces it exactly.  Streams
+are derived with a stable digest (blake2b), never ``hash()``, so two
+processes -- including process-pool workers spawned with different
+``PYTHONHASHSEED`` values -- produce identical streams for identical
+keys.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+
+
+def _digest(material: tuple) -> int:
+    """Stable 64-bit digest of a key tuple (PYTHONHASHSEED-independent)."""
+    blob = "\x1f".join(str(part) for part in material).encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(blob, digest_size=8).digest(), "big"
+    )
 
 
 class RngFactory:
     """Spawns named, independent :class:`random.Random` streams.
 
     Two factories with the same root seed produce identical streams for
-    identical keys, regardless of the order streams are requested in.
+    identical keys, regardless of the order streams are requested in and
+    regardless of the process requesting them.
     """
 
     def __init__(self, root_seed: int) -> None:
@@ -27,9 +41,9 @@ class RngFactory:
     def stream(self, *key: object) -> random.Random:
         """Return a fresh RNG determined by ``(root_seed, *key)``."""
         material = (self._root_seed,) + tuple(str(k) for k in key)
-        return random.Random(hash(material) & 0xFFFF_FFFF_FFFF_FFFF)
+        return random.Random(_digest(material))
 
     def child(self, *key: object) -> "RngFactory":
         """Derive a sub-factory (e.g. one per benchmark application)."""
         material = (self._root_seed,) + tuple(str(k) for k in key)
-        return RngFactory(hash(material) & 0xFFFF_FFFF_FFFF_FFFF)
+        return RngFactory(_digest(material))

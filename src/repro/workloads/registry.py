@@ -10,6 +10,7 @@ seeds the deterministic data generator, and returns a ready-to-load
 from __future__ import annotations
 
 import random
+import zlib
 from collections.abc import Callable
 
 from repro.workloads import parsec, phoenix, splash2
@@ -136,5 +137,7 @@ def build_workload(
     if meta is None:
         raise KeyError(f"unknown benchmark {short!r}; known: {sorted(REGISTRY)}")
     work = max(400, int(meta.paper_cycles * scale))
-    rng = random.Random((seed << 8) ^ hash(short) & 0xFFFFFFFF)
+    # stable digest so the same (benchmark, seed) builds identical input
+    # data in every process, independent of PYTHONHASHSEED
+    rng = random.Random((seed << 8) ^ (zlib.crc32(short.encode()) & 0xFFFFFFFF))
     return builder(threads, work, rng)

@@ -1,0 +1,54 @@
+"""Cross-process reproducibility of campaign seeding.
+
+Campaign RNGs used to be derived from ``hash(component)``/``hash(short)``,
+which vary across interpreter runs under ``PYTHONHASHSEED``
+randomization.  These tests pin the fix: identical specs must produce
+identical outcome tables in fresh processes regardless of the hash seed
+-- the property the parallel executor and the sweep's byte-identical
+serial/parallel contract rest on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+CAMPAIGN_ARGS = [
+    "campaign", "--benchmark", "fft", "--component", "l2c",
+    "--n", "3", "--cores", "2", "--threads-per-core", "2",
+    "--scale", "5e-6", "--seed", "11", "--json", "-",
+]
+
+
+def run_cli_fresh_process(argv, hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestCrossProcessDeterminism:
+    def test_campaign_identical_across_hash_seeds(self):
+        first = run_cli_fresh_process(CAMPAIGN_ARGS, hashseed="0")
+        second = run_cli_fresh_process(CAMPAIGN_ARGS, hashseed="424242")
+        assert first == second
+        payload = json.loads(first)
+        records = payload["records"]
+        assert len(records) == 3
+        assert all(r["flip_location"] is not None for r in records)
+
+    def test_qrr_identical_across_hash_seeds(self):
+        argv = [
+            "qrr", "--benchmark", "fft", "--component", "l2c",
+            "--n", "2", "--cores", "2", "--threads-per-core", "2",
+            "--scale", "5e-6", "--json", "-",
+        ]
+        assert run_cli_fresh_process(argv, "1") == run_cli_fresh_process(
+            argv, "999"
+        )

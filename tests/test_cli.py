@@ -1,8 +1,12 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+SMALL = ["--cores", "2", "--threads-per-core", "2", "--scale", "5e-6"]
 
 
 class TestParser:
@@ -54,3 +58,54 @@ class TestCommands:
             "--scale", "5e-6",
         ])
         assert rc == 0
+
+    def test_campaign_json_stdout(self, capsys):
+        rc = main([
+            "campaign", "--benchmark", "fft", "--component", "l2c",
+            "--n", "2", *SMALL, "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["component"] == "l2c"
+        assert len(payload["records"]) == 2
+        assert "outcome_counts" in payload["summary"]
+
+    def test_qrr_json_file(self, capsys, tmp_path):
+        out = tmp_path / "qrr.json"
+        rc = main([
+            "qrr", "--benchmark", "fft", "--component", "l2c",
+            "--n", "2", *SMALL, "--json", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["mode"] == "qrr"
+        assert payload["summary"]["recovered"] == 2
+
+    def test_small_sweep_json(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--components", "l2c", "mcu",
+            "--benchmarks", "fft", "radi", "--n", "2", *SMALL,
+            "--json", str(out),
+        ])
+        assert rc == 0
+        assert "sweep" in capsys.readouterr().out.lower()
+        payload = json.loads(out.read_text())
+        assert len(payload["results"]) == 4
+        cells = [
+            (r["spec"]["component"], r["spec"]["benchmark"])
+            for r in payload["results"]
+        ]
+        assert cells == [
+            ("l2c", "fft"), ("l2c", "radi"), ("mcu", "fft"), ("mcu", "radi"),
+        ]
+
+    def test_sweep_parallel_matches_serial(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--components", "l2c", "--benchmarks", "fft",
+            "--n", "2", *SMALL,
+        ]
+        serial, parallel = tmp_path / "s.json", tmp_path / "p.json"
+        assert main([*argv, "--workers", "1", "--json", str(serial)]) == 0
+        assert main([*argv, "--workers", "2", "--json", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
