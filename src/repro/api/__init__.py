@@ -16,6 +16,7 @@ executor), get canonical results back::
 """
 
 from repro.api.executor import (
+    CachingExecutor,
     Executor,
     ParallelExecutor,
     SerialExecutor,
@@ -39,6 +40,7 @@ from repro.api.spec import (
 )
 
 __all__ = [
+    "CachingExecutor",
     "DEFAULT_MACHINE",
     "DEFAULT_SCALE",
     "Executor",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.api.result import ExperimentResult
@@ -102,8 +103,75 @@ class ParallelExecutor:
         return [ExperimentResult.from_dict(d) for d in dicts]
 
 
-def make_executor(workers: int = 1, chunksize: int = 1) -> Executor:
-    """``workers <= 1`` selects the serial path, anything else the pool."""
+# ----------------------------------------------------------------------
+# on-disk result cache
+# ----------------------------------------------------------------------
+class CachingExecutor:
+    """Skips specs whose canonical result JSON already exists on disk.
+
+    Cache layout: one ``<spec.digest()>.json`` per cell under
+    ``cache_dir``, written with :meth:`ExperimentResult.save` (the
+    canonical byte-stable encoding).  Hits are loaded and returned in
+    spec order alongside freshly-computed misses, so a cached sweep is
+    byte-identical to an uncached one.  A cached file whose embedded
+    spec does not round-trip to the requested spec (digest collision or
+    manual tampering) is treated as a miss and rewritten.
+    """
+
+    def __init__(self, cache_dir: "str | Path", inner: "Executor | None" = None):
+        self.cache_dir = Path(cache_dir)
+        self.inner = inner if inner is not None else SerialExecutor()
+        #: hit/miss tally of the most recent :meth:`run` (for logs/tests)
+        self.last_hits = 0
+        self.last_misses = 0
+
+    def _path_for(self, spec: ExperimentSpec) -> Path:
+        return self.cache_dir / f"{spec.digest()}.json"
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        specs = list(specs)
+        results: "list[ExperimentResult | None]" = [None] * len(specs)
+        miss_indices: list[int] = []
+        for i, spec in enumerate(specs):
+            path = self._path_for(spec)
+            if path.is_file():
+                try:
+                    cached = ExperimentResult.load(path)
+                except (ValueError, KeyError, OSError):
+                    # truncated/corrupt file (e.g. an interrupted write):
+                    # a miss, recomputed and rewritten below
+                    cached = None
+                if cached is not None and cached.spec == spec:
+                    results[i] = cached
+                    continue
+            miss_indices.append(i)
+        self.last_hits = len(specs) - len(miss_indices)
+        self.last_misses = len(miss_indices)
+        if miss_indices:
+            fresh = self.inner.run([specs[i] for i in miss_indices])
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            for i, result in zip(miss_indices, fresh):
+                path = self._path_for(specs[i])
+                # write-then-rename so an interrupted save never leaves
+                # a half-written cache entry under the final name
+                tmp = path.with_suffix(".json.tmp")
+                result.save(tmp)
+                tmp.replace(path)
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+
+def make_executor(
+    workers: int = 1,
+    chunksize: int = 1,
+    cache_dir: "str | Path | None" = None,
+) -> Executor:
+    """``workers <= 1`` selects the serial path, anything else the pool;
+    ``cache_dir`` wraps the chosen executor in a :class:`CachingExecutor`."""
     if workers <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers=workers, chunksize=chunksize)
+        executor: Executor = SerialExecutor()
+    else:
+        executor = ParallelExecutor(workers=workers, chunksize=chunksize)
+    if cache_dir is not None:
+        return CachingExecutor(cache_dir, executor)
+    return executor

@@ -28,15 +28,25 @@ from repro.mixedmode.platform import (
     compute_golden,
 )
 from repro.qrr.campaign import QrrCampaign, QrrCampaignResult
-from repro.system.machine import Machine
+from repro.system.machine import DEFAULT_ENGINE, Machine
 from repro.workloads import build_workload
 
 
 class Session:
-    """Resolves experiment specs into platforms, campaigns and results."""
+    """Resolves experiment specs into platforms, campaigns and results.
 
-    def __init__(self, cache_platforms: bool = True) -> None:
+    ``engine`` selects the machine cycle engine; the default
+    (event-driven) and the reference stepper produce bit-identical
+    results, so it is a performance knob only and deliberately not part
+    of :class:`~repro.api.spec.ExperimentSpec` (it must not change spec
+    digests).
+    """
+
+    def __init__(
+        self, cache_platforms: bool = True, engine: str = DEFAULT_ENGINE
+    ) -> None:
         self._cache_platforms = cache_platforms
+        self.engine = engine
         self._platforms: dict[tuple, MixedModePlatform] = {}
 
     # ------------------------------------------------------------------
@@ -53,10 +63,15 @@ class Session:
                 scale=spec.scale,
                 seed=spec.seed,
                 pcie_input=spec.pcie_input,
+                engine=self.engine,
             )
             if self._cache_platforms:
                 self._platforms[key] = platform
         return platform
+
+    def platforms(self) -> list[MixedModePlatform]:
+        """The currently cached platforms (e.g. for perf accounting)."""
+        return list(self._platforms.values())
 
     def clear(self) -> None:
         """Drop all cached platforms (frees snapshots and machines)."""
@@ -159,7 +174,7 @@ class Session:
             scale=spec.scale,
             seed=spec.seed,
         )
-        machine = Machine(spec.machine)
+        machine = Machine(spec.machine, engine=self.engine)
         machine.load_workload(image, pcie_input=spec.pcie_input)
         return compute_golden(
             machine,

@@ -10,6 +10,8 @@ processes and lets results embed the spec that produced them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.system.machine import MachineConfig
@@ -123,6 +125,20 @@ class ExperimentSpec:
         """Short human-readable cell name for logs and progress output."""
         comp = self.component or "-"
         return f"{self.mode}:{comp}:{self.benchmark}:seed={self.seed}"
+
+    def digest(self) -> str:
+        """Stable content hash of the spec (the result-cache key).
+
+        Derived from the canonical JSON form with a fixed-size blake2b
+        digest -- never ``hash()``, which varies per process under
+        PYTHONHASHSEED randomization.  Two specs share a digest iff they
+        produce byte-identical campaign results (the determinism
+        contract: a spec fully determines its campaign).
+        """
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
     def with_(self, **changes) -> "ExperimentSpec":
         """A copy with the given fields replaced (validation re-runs)."""

@@ -1,0 +1,16 @@
+"""Micro-benchmark harness for the cycle engine (``repro bench``).
+
+Measures simulation throughput (cycles/second) for the paths that
+dominate campaign wall-clock -- the golden run, one injection cell, one
+QRR cell and a sweep smoke -- under both cycle engines, and emits the
+canonical ``BENCH_step.json`` so every PR has a recorded perf
+trajectory.  See :mod:`repro.bench.harness`.
+"""
+
+from repro.bench.harness import (
+    BenchSettings,
+    check_against_baseline,
+    run_benches,
+)
+
+__all__ = ["BenchSettings", "check_against_baseline", "run_benches"]

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli campaign --component l2c --benchmark fft --n 200
     python -m repro.cli qrr --component mcu --n 50 --json -
     python -m repro.cli sweep --n 20 --workers 4 --json out.json
+    python -m repro.cli sweep --n 20 --cache-dir .sweep-cache
+    python -m repro.cli bench --tiny --json BENCH_step.json
     python -m repro.cli tables
     python -m repro.cli run --benchmark p-wc
 """
@@ -18,6 +20,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.analysis.tables import (
@@ -28,6 +31,7 @@ from repro.analysis.tables import (
 )
 from repro.api import (
     DEFAULT_SCALE,
+    CachingExecutor,
     ExperimentResult,
     ExperimentSpec,
     Grid,
@@ -144,12 +148,21 @@ def cmd_sweep(args) -> int:
     if not specs:
         print("sweep grid is empty (no valid component x benchmark cells)")
         return 1
-    executor = make_executor(workers=args.workers, chunksize=args.chunksize)
+    executor = make_executor(
+        workers=args.workers,
+        chunksize=args.chunksize,
+        cache_dir=args.cache_dir,
+    )
     print(
         f"sweep: {len(specs)} cells x {args.n} runs "
         f"({executor.__class__.__name__}, workers={args.workers})"
     )
     results = executor.run(specs)
+    if isinstance(executor, CachingExecutor):
+        print(
+            f"result cache {args.cache_dir}: {executor.last_hits} hits, "
+            f"{executor.last_misses} misses"
+        )
 
     _print_sweep_tables(results)
     if args.json:
@@ -217,6 +230,33 @@ def _print_sweep_tables(results: list[ExperimentResult]) -> None:
             title = f"golden sweep (seed {seed})"
         print(render_table(headers, rows, title=title))
         print()
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import BenchSettings, check_against_baseline, run_benches
+    from repro.bench.harness import save_bench
+
+    settings = BenchSettings.tiny() if args.tiny else BenchSettings()
+    if args.scenarios:
+        settings = dataclasses.replace(
+            settings, scenarios=tuple(args.scenarios)
+        )
+    doc = run_benches(settings, log=print)
+    if args.json == "-":
+        print(dumps_canonical(doc))
+    else:
+        save_bench(doc, args.json)
+        print(f"wrote {args.json}")
+    if args.check_against:
+        failures = check_against_baseline(
+            doc, args.check_against, tolerance=args.tolerance
+        )
+        if failures:
+            for line in failures:
+                print(f"bench regression: {line}", file=sys.stderr)
+            return 1
+        print(f"bench check vs {args.check_against}: ok")
+    return 0
 
 
 def cmd_tables(_args) -> int:
@@ -295,7 +335,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunksize", type=int, default=1)
     p.add_argument("--json", default=None, metavar="FILE",
                    help="persist all cell results ('-' for stdout)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="skip cells whose (spec-digest -> result) JSON "
+                        "already exists under DIR; misses are written back")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench", help="measure cycle-engine throughput (BENCH_step.json)"
+    )
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke sizing (fewer runs/repeats)")
+    p.add_argument("--json", default="BENCH_step.json", metavar="FILE",
+                   help="where to write the canonical bench document "
+                        "('-' for stdout only)")
+    p.add_argument("--scenarios", nargs="+", default=None,
+                   choices=["golden", "injection", "qrr", "sweep"])
+    p.add_argument("--check-against", default=None, metavar="BASELINE",
+                   help="fail (exit 1) if event-engine cycles/sec regresses "
+                        "more than --tolerance below this baseline JSON")
+    p.add_argument("--tolerance", type=float, default=0.30)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("tables", help="print the inventory tables")
     p.set_defaults(func=cmd_tables)

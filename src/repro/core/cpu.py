@@ -18,10 +18,11 @@ banks while plain stores to one bank stay ordered by the bank FIFO.
 from __future__ import annotations
 
 import enum
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.isa import NUM_REGS, WORD_MASK, Instr, Op
+from repro.core.isa import NUM_REGS, WORD_MASK, Op
 from repro.core.program import Program
 from repro.soc.packets import CpxPacket, CpxType, PcxPacket, PcxType
 
@@ -73,6 +74,8 @@ class Thread:
         "core_idx",
         "thread_idx",
         "program",
+        "program_len",
+        "handlers",
         "regs",
         "pc",
         "state",
@@ -88,6 +91,8 @@ class Thread:
         self.core_idx = core_idx
         self.thread_idx = thread_idx
         self.program = program
+        self.program_len = len(program)
+        self.handlers = compile_program(program)
         self.regs = [0] * NUM_REGS
         self.pc = 0
         self.state = ThreadState.READY
@@ -165,6 +170,25 @@ class Core:
         self.dropped_cpx = 0
         #: L1 invalidations processed.
         self.invalidations = 0
+        #: activity counters for the event-driven machine engine:
+        #: number of threads in READY/RETRY, and number with a pending
+        #: atomic (waiting for store-credit drain).  ``step()`` can issue
+        #: an instruction this cycle iff either is non-zero.
+        self._num_ready = 0
+        self._num_atomic_wait = 0
+        #: set whenever architected core state may have changed since the
+        #: last delta checkpoint (read and cleared by the snapshot chain)
+        self.dirty = True
+        #: L1 indices touched since the last delta capture (None: delta
+        #: tracking off); lets checkpoints skip copying the L1 arrays
+        self._l1_dirty: "set[int] | None" = None
+        #: optional machine hook ``(trapped: bool) -> None`` fired when a
+        #: thread enters HALTED or TRAPPED (drives O(1) run-loop checks)
+        self.on_thread_stop: "Callable[[bool], None] | None" = None
+
+    def active(self) -> bool:
+        """Whether ``step()`` could possibly issue an instruction now."""
+        return bool(self._num_ready or self._num_atomic_wait)
 
     # ------------------------------------------------------------------
     # L1 cache (word-granular, direct-mapped, write-through)
@@ -182,19 +206,27 @@ class Core:
         idx = self._l1_index(addr)
         self._l1_tags[idx] = addr
         self._l1_vals[idx] = value & WORD_MASK
+        if self._l1_dirty is not None:
+            self._l1_dirty.add(idx)
 
     def l1_invalidate_line(self, line_addr: int) -> None:
         """Drop every word of a 64-byte line from the L1."""
         base = line_addr & ~63
+        dirty = self._l1_dirty
         for word in range(LINE_WORDS):
             addr = base + word * 8
             idx = self._l1_index(addr)
             if self._l1_tags[idx] == addr:
                 self._l1_tags[idx] = -1
+                if dirty is not None:
+                    dirty.add(idx)
         self.invalidations += 1
 
     def l1_flush(self) -> None:
         self._l1_tags = [-1] * self._l1_size
+        self.dirty = True
+        if self._l1_dirty is not None:
+            self._l1_dirty.update(range(self._l1_size))
 
     # ------------------------------------------------------------------
     # Thread management
@@ -202,6 +234,7 @@ class Core:
     def add_thread(self, program: Program) -> Thread:
         thread = Thread(self.core_idx, len(self.threads), program)
         self.threads.append(thread)
+        self._num_ready += 1
         return thread
 
     def all_halted(self) -> bool:
@@ -225,6 +258,7 @@ class Core:
         thread is dropped and counted -- the original requester keeps
         waiting, which is how lost replies turn into Hang outcomes.
         """
+        self.dirty = True
         if pkt.ctype is CpxType.INVALIDATE:
             self.l1_invalidate_line(pkt.addr)
             return
@@ -251,216 +285,95 @@ class Core:
                     self.l1_fill(pkt.addr, pkt.data)
                 thread.wait_reqid = -1
                 thread.state = ThreadState.READY
+                self._num_ready += 1
                 return
         self.dropped_cpx += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self, cycle: int) -> bool:
-        """Issue at most one instruction.  Returns True if one retired."""
-        n = len(self.threads)
-        if n == 0:
+    def step(
+        self,
+        cycle: int,
+        _READY=ThreadState.READY,
+        _RETRY=ThreadState.RETRY,
+        _WAIT=ThreadState.WAIT_MEM,
+    ) -> bool:
+        """Issue at most one instruction.  Returns True if one retired.
+
+        The round-robin scan and instruction dispatch are fused and
+        inlined -- this is the hottest function in the repository.  The
+        round-robin head being ready is the overwhelmingly common case,
+        so it dispatches without setting up the scan loop.
+        """
+        if not (self._num_ready or self._num_atomic_wait):
+            # no thread could possibly issue: identical outcome to the
+            # full round-robin scan, at O(1) cost
             return False
-        for offset in range(n):
-            idx = (self._rr + offset) % n
-            thread = self.threads[idx]
-            if thread.state is ThreadState.WAIT_MEM:
-                if thread.pending_atomic and thread.stores_inflight == 0:
-                    # store credits drained; issue the atomic now
-                    thread.state = ThreadState.RETRY
-                else:
-                    continue
-            if thread.state in (ThreadState.HALTED, ThreadState.TRAPPED):
+        threads = self.threads
+        idx = self._rr
+        thread = threads[idx]
+        state = thread.state
+        if state is _READY or state is _RETRY:
+            idx += 1
+            self._rr = 0 if idx == len(threads) else idx
+            self.dirty = True
+            pc = thread.pc
+            if not 0 <= pc < thread.program_len:
+                return self._trap(thread, TrapKind.BAD_PC)
+            thread.state = _READY
+            return thread.handlers[pc](self, thread, cycle)
+        return self._step_scan(cycle)
+
+    def _step_scan(
+        self,
+        cycle: int,
+        _READY=ThreadState.READY,
+        _RETRY=ThreadState.RETRY,
+        _WAIT=ThreadState.WAIT_MEM,
+    ) -> bool:
+        """Full round-robin scan (the head thread could not issue)."""
+        threads = self.threads
+        n = len(threads)
+        idx = self._rr
+        for _scan in range(n):
+            if idx >= n:
+                idx -= n
+            thread = threads[idx]
+            state = thread.state
+            if state is _READY or state is _RETRY:
+                pass
+            elif state is _WAIT and (
+                thread.pending_atomic and thread.stores_inflight == 0
+            ):
+                # store credits drained; issue the atomic now
+                thread.state = _RETRY
+                self._num_ready += 1
+            else:
+                idx += 1
                 continue
-            self._rr = (idx + 1) % n
-            return self._execute(thread, cycle)
+            idx += 1
+            self._rr = 0 if idx == n else idx
+            # -- inlined _execute ----------------------------------
+            self.dirty = True
+            pc = thread.pc
+            if not 0 <= pc < thread.program_len:
+                return self._trap(thread, TrapKind.BAD_PC)
+            thread.state = _READY
+            return thread.handlers[pc](self, thread, cycle)
         return False
 
     def _trap(self, thread: Thread, kind: TrapKind, addr: int = 0) -> bool:
         thread.trap = Trap(kind, self.core_idx, thread.thread_idx, thread.pc, addr)
         thread.state = ThreadState.TRAPPED
+        self._num_ready -= 1
+        if thread.pending_atomic:
+            # leave the flag itself untouched (it is architected snapshot
+            # state); the counter only tracks potentially-issuable threads
+            self._num_atomic_wait -= 1
+        if self.on_thread_stop is not None:
+            self.on_thread_stop(True)
         return False
-
-    def _execute(self, thread: Thread, cycle: int) -> bool:
-        program = thread.program
-        if not 0 <= thread.pc < len(program):
-            return self._trap(thread, TrapKind.BAD_PC)
-        instr: Instr = program[thread.pc]
-        op = instr.op
-        regs = thread.regs
-        thread.state = ThreadState.READY
-        thread.pending_atomic = False
-
-        if op is Op.LD:
-            addr = (regs[instr.ra] + instr.imm) & WORD_MASK
-            if addr & 7:
-                return self._trap(thread, TrapKind.MISALIGNED, addr)
-            if self.check_addr is not None and not self.check_addr(addr):
-                return self._trap(thread, TrapKind.BAD_ADDR, addr)
-            cached = self.l1_lookup(addr)
-            if cached is not None:
-                thread.write_reg(instr.rd, cached)
-                thread.pc += 1
-                thread.retired += 1
-                return True
-            reqid = self.alloc_reqid()
-            pkt = PcxPacket(
-                PcxType.LOAD, self.core_idx, thread.thread_idx, addr, 0, reqid
-            )
-            if not self.issue_pcx(pkt):
-                thread.state = ThreadState.RETRY
-                return False
-            thread.state = ThreadState.WAIT_MEM
-            thread.wait_reqid = reqid
-            thread.wait_rd = instr.rd
-            thread.pc += 1
-            thread.retired += 1
-            return True
-
-        if op is Op.ST:
-            addr = (regs[instr.ra] + instr.imm) & WORD_MASK
-            if addr & 7:
-                return self._trap(thread, TrapKind.MISALIGNED, addr)
-            if self.check_addr is not None and not self.check_addr(addr):
-                return self._trap(thread, TrapKind.BAD_ADDR, addr)
-            if thread.stores_inflight >= STORE_CREDITS:
-                thread.state = ThreadState.RETRY
-                return False
-            reqid = self.alloc_reqid()
-            pkt = PcxPacket(
-                PcxType.STORE,
-                self.core_idx,
-                thread.thread_idx,
-                addr,
-                regs[instr.rb],
-                reqid,
-            )
-            if not self.issue_pcx(pkt):
-                thread.state = ThreadState.RETRY
-                return False
-            # write-through with allocate-on-store into the local L1
-            self.l1_fill(addr, regs[instr.rb])
-            thread.stores_inflight += 1
-            thread.pc += 1
-            thread.retired += 1
-            return True
-
-        if op is Op.TAS or op is Op.FAA:
-            addr = regs[instr.ra] & WORD_MASK
-            if addr & 7:
-                return self._trap(thread, TrapKind.MISALIGNED, addr)
-            if self.check_addr is not None and not self.check_addr(addr):
-                return self._trap(thread, TrapKind.BAD_ADDR, addr)
-            if thread.stores_inflight > 0:
-                # drain posted stores before the atomic (fence semantics)
-                thread.state = ThreadState.WAIT_MEM
-                thread.pending_atomic = True
-                return False
-            reqid = self.alloc_reqid()
-            ptype = PcxType.ATOMIC_TAS if op is Op.TAS else PcxType.ATOMIC_ADD
-            operand = regs[instr.rb] if op is Op.FAA else 0
-            pkt = PcxPacket(
-                ptype, self.core_idx, thread.thread_idx, addr, operand, reqid
-            )
-            if not self.issue_pcx(pkt):
-                thread.state = ThreadState.RETRY
-                return False
-            # atomics bypass the L1; drop any stale local copy
-            idx = self._l1_index(addr)
-            if self._l1_tags[idx] == addr:
-                self._l1_tags[idx] = -1
-            thread.state = ThreadState.WAIT_MEM
-            thread.wait_reqid = reqid
-            thread.wait_rd = instr.rd
-            thread.pc += 1
-            thread.retired += 1
-            return True
-
-        # --- non-memory instructions ------------------------------------
-        if op is Op.LDI:
-            thread.write_reg(instr.rd, instr.imm & WORD_MASK)
-        elif op is Op.ADD:
-            thread.write_reg(instr.rd, regs[instr.ra] + regs[instr.rb])
-        elif op is Op.SUB:
-            thread.write_reg(instr.rd, regs[instr.ra] - regs[instr.rb])
-        elif op is Op.MUL:
-            thread.write_reg(instr.rd, regs[instr.ra] * regs[instr.rb])
-        elif op is Op.AND:
-            thread.write_reg(instr.rd, regs[instr.ra] & regs[instr.rb])
-        elif op is Op.OR:
-            thread.write_reg(instr.rd, regs[instr.ra] | regs[instr.rb])
-        elif op is Op.XOR:
-            thread.write_reg(instr.rd, regs[instr.ra] ^ regs[instr.rb])
-        elif op is Op.SHL:
-            thread.write_reg(instr.rd, regs[instr.ra] << (regs[instr.rb] & 63))
-        elif op is Op.SHR:
-            thread.write_reg(instr.rd, regs[instr.ra] >> (regs[instr.rb] & 63))
-        elif op is Op.CMPLT:
-            thread.write_reg(instr.rd, 1 if regs[instr.ra] < regs[instr.rb] else 0)
-        elif op is Op.ADDI:
-            thread.write_reg(instr.rd, regs[instr.ra] + instr.imm)
-        elif op is Op.MULI:
-            thread.write_reg(instr.rd, regs[instr.ra] * instr.imm)
-        elif op is Op.ANDI:
-            thread.write_reg(instr.rd, regs[instr.ra] & instr.imm)
-        elif op is Op.ORI:
-            thread.write_reg(instr.rd, regs[instr.ra] | instr.imm)
-        elif op is Op.XORI:
-            thread.write_reg(instr.rd, regs[instr.ra] ^ instr.imm)
-        elif op is Op.SHLI:
-            thread.write_reg(instr.rd, regs[instr.ra] << (instr.imm & 63))
-        elif op is Op.SHRI:
-            thread.write_reg(instr.rd, regs[instr.ra] >> (instr.imm & 63))
-        elif op is Op.DIV:
-            if regs[instr.rb] == 0:
-                return self._trap(thread, TrapKind.ILLEGAL)
-            thread.write_reg(instr.rd, regs[instr.ra] // regs[instr.rb])
-        elif op is Op.MOD:
-            if regs[instr.rb] == 0:
-                return self._trap(thread, TrapKind.ILLEGAL)
-            thread.write_reg(instr.rd, regs[instr.ra] % regs[instr.rb])
-        elif op is Op.BEQ:
-            if regs[instr.ra] == regs[instr.rb]:
-                thread.pc = instr.imm
-                thread.retired += 1
-                return True
-        elif op is Op.BNE:
-            if regs[instr.ra] != regs[instr.rb]:
-                thread.pc = instr.imm
-                thread.retired += 1
-                return True
-        elif op is Op.BLT:
-            if regs[instr.ra] < regs[instr.rb]:
-                thread.pc = instr.imm
-                thread.retired += 1
-                return True
-        elif op is Op.BGE:
-            if regs[instr.ra] >= regs[instr.rb]:
-                thread.pc = instr.imm
-                thread.retired += 1
-                return True
-        elif op is Op.JMP:
-            thread.pc = instr.imm
-            thread.retired += 1
-            return True
-        elif op is Op.OUT:
-            self.write_output(regs[instr.ra], regs[instr.rb])
-        elif op is Op.ASSERT_EQ:
-            if regs[instr.ra] != regs[instr.rb]:
-                return self._trap(thread, TrapKind.ASSERT_FAIL)
-        elif op is Op.HALT:
-            thread.state = ThreadState.HALTED
-            thread.retired += 1
-            return True
-        elif op is Op.NOP:
-            pass
-        else:  # pragma: no cover - every Op is handled above
-            return self._trap(thread, TrapKind.ILLEGAL)
-
-        thread.pc += 1
-        thread.retired += 1
-        return True
 
     # ------------------------------------------------------------------
     # Snapshot support
@@ -483,3 +396,441 @@ class Core:
         self.invalidations = state["invalidations"]
         for thread, tstate in zip(self.threads, state["threads"]):
             thread.restore(tstate)
+        self.dirty = True
+        self._recount()
+
+    def _recount(self) -> None:
+        """Rebuild the activity counters from the thread states."""
+        ready = atomic = 0
+        for t in self.threads:
+            if t.state is ThreadState.READY or t.state is ThreadState.RETRY:
+                ready += 1
+            if t.pending_atomic and t.state not in (
+                ThreadState.HALTED,
+                ThreadState.TRAPPED,
+            ):
+                atomic += 1
+        self._num_ready = ready
+        self._num_atomic_wait = atomic
+
+    # ------------------------------------------------------------------
+    # Delta capture (see repro.system.snapshots)
+    # ------------------------------------------------------------------
+    def delta_capture_begin(self) -> None:
+        """Start tracking L1 mutations for delta checkpoints."""
+        self._l1_dirty = set()
+
+    def delta_capture_end(self) -> None:
+        self._l1_dirty = None
+
+    def delta_snapshot(self) -> dict:
+        """Changes since the last capture: thread state in full (it
+        churns every cycle), the L1 arrays as a sparse index delta."""
+        tags = self._l1_tags
+        vals = self._l1_vals
+        delta = {
+            "rr": self._rr,
+            "dropped_cpx": self.dropped_cpx,
+            "invalidations": self.invalidations,
+            "threads": [t.snapshot() for t in self.threads],
+            "l1_delta": {i: (tags[i], vals[i]) for i in self._l1_dirty},
+        }
+        self._l1_dirty = set()
+        return delta
+
+
+# ----------------------------------------------------------------------
+# Threaded-code compiler
+# ----------------------------------------------------------------------
+# ``compile_program`` translates a Program once into a list of
+# per-instruction closures ("handlers"); ``Core._execute`` dispatches by
+# indexing the list with the thread's pc.  This removes the per-cycle
+# decode work (Instr field loads and the opcode if/elif chain) from the
+# hottest loop in the repository -- the golden runs, phase-1 replays and
+# phase-3 outcome runs all spend most of their time here.  Handlers must
+# be *bit-exact* with the original interpreter; the semantics below
+# mirror it branch for branch.
+
+#: id(program) -> handler list; entries drop out when the program dies.
+_COMPILED: dict[int, list] = {}
+
+
+def compile_program(program: Program) -> list:
+    """The (cached) handler list for a program."""
+    key = id(program)
+    handlers = _COMPILED.get(key)
+    if handlers is None:
+        handlers = [
+            _HANDLER_FACTORIES[instr.op](instr) for instr in program.instrs
+        ]
+        _COMPILED[key] = handlers
+        weakref.finalize(program, _COMPILED.pop, key, None)
+    return handlers
+
+
+def _make_nop(instr):
+    def h(core, thread, cycle):
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_ldi(instr):
+    rd = instr.rd
+    if rd == 0:  # writes to r0 are discarded
+        return _make_nop(instr)
+    value = instr.imm & WORD_MASK
+
+    def h(core, thread, cycle):
+        thread.regs[rd] = value
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _alu_reg_factory(expr: str):
+    """Factory for ``rd <- ra <op> rb`` handlers (masked like write_reg)."""
+    src = (
+        "def _make(instr):\n"
+        "    rd = instr.rd\n"
+        "    ra = instr.ra\n"
+        "    rb = instr.rb\n"
+        "    if rd == 0:\n"
+        "        return _make_nop(instr)\n"
+        "    def h(core, thread, cycle, _M=WORD_MASK):\n"
+        "        regs = thread.regs\n"
+        f"        regs[rd] = ({expr}) & _M\n"
+        "        thread.pc += 1\n"
+        "        thread.retired += 1\n"
+        "        return True\n"
+        "    return h\n"
+    )
+    namespace = {"WORD_MASK": WORD_MASK, "_make_nop": _make_nop}
+    exec(src, namespace)
+    return namespace["_make"]
+
+
+def _alu_imm_factory(expr: str):
+    """Factory for ``rd <- ra <op> imm`` handlers."""
+    src = (
+        "def _make(instr):\n"
+        "    rd = instr.rd\n"
+        "    ra = instr.ra\n"
+        "    imm = instr.imm\n"
+        "    if rd == 0:\n"
+        "        return _make_nop(instr)\n"
+        "    def h(core, thread, cycle, _M=WORD_MASK):\n"
+        "        regs = thread.regs\n"
+        f"        regs[rd] = ({expr}) & _M\n"
+        "        thread.pc += 1\n"
+        "        thread.retired += 1\n"
+        "        return True\n"
+        "    return h\n"
+    )
+    namespace = {"WORD_MASK": WORD_MASK, "_make_nop": _make_nop}
+    exec(src, namespace)
+    return namespace["_make"]
+
+
+def _branch_factory(cmp: str):
+    """Factory for ``if ra <cmp> rb: pc <- imm`` handlers."""
+    src = (
+        "def _make(instr):\n"
+        "    ra = instr.ra\n"
+        "    rb = instr.rb\n"
+        "    imm = instr.imm\n"
+        "    def h(core, thread, cycle):\n"
+        "        regs = thread.regs\n"
+        f"        if regs[ra] {cmp} regs[rb]:\n"
+        "            thread.pc = imm\n"
+        "        else:\n"
+        "            thread.pc += 1\n"
+        "        thread.retired += 1\n"
+        "        return True\n"
+        "    return h\n"
+    )
+    namespace: dict = {}
+    exec(src, namespace)
+    return namespace["_make"]
+
+
+def _make_jmp(instr):
+    imm = instr.imm
+
+    def h(core, thread, cycle):
+        thread.pc = imm
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_div(instr):
+    rd, ra, rb = instr.rd, instr.ra, instr.rb
+
+    def h(core, thread, cycle, _ILL=TrapKind.ILLEGAL):
+        regs = thread.regs
+        divisor = regs[rb]
+        if divisor == 0:
+            return core._trap(thread, _ILL)
+        if rd:
+            regs[rd] = regs[ra] // divisor
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_mod(instr):
+    rd, ra, rb = instr.rd, instr.ra, instr.rb
+
+    def h(core, thread, cycle, _ILL=TrapKind.ILLEGAL):
+        regs = thread.regs
+        divisor = regs[rb]
+        if divisor == 0:
+            return core._trap(thread, _ILL)
+        if rd:
+            regs[rd] = regs[ra] % divisor
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_out(instr):
+    ra, rb = instr.ra, instr.rb
+
+    def h(core, thread, cycle):
+        regs = thread.regs
+        core.write_output(regs[ra], regs[rb])
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_assert_eq(instr):
+    ra, rb = instr.ra, instr.rb
+
+    def h(core, thread, cycle, _AF=TrapKind.ASSERT_FAIL):
+        regs = thread.regs
+        if regs[ra] != regs[rb]:
+            return core._trap(thread, _AF)
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_halt(instr):
+    def h(core, thread, cycle, _HALTED=ThreadState.HALTED):
+        thread.state = _HALTED
+        core._num_ready -= 1
+        stop = core.on_thread_stop
+        if stop is not None:
+            stop(False)
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_ld(instr):
+    rd, ra, imm = instr.rd, instr.ra, instr.imm
+
+    def h(
+        core,
+        thread,
+        cycle,
+        _M=WORD_MASK,
+        _Pkt=PcxPacket,
+        _LOAD=PcxType.LOAD,
+        _WAIT=ThreadState.WAIT_MEM,
+        _RETRY=ThreadState.RETRY,
+        _MIS=TrapKind.MISALIGNED,
+        _BAD=TrapKind.BAD_ADDR,
+    ):
+        regs = thread.regs
+        addr = (regs[ra] + imm) & _M
+        if addr & 7:
+            return core._trap(thread, _MIS, addr)
+        check = core.check_addr
+        if check is not None and not check(addr):
+            return core._trap(thread, _BAD, addr)
+        idx = (addr >> 3) & (core._l1_size - 1)
+        if core._l1_tags[idx] == addr:
+            if rd:
+                regs[rd] = core._l1_vals[idx]
+            thread.pc += 1
+            thread.retired += 1
+            return True
+        reqid = core.alloc_reqid()
+        pkt = _Pkt(_LOAD, core.core_idx, thread.thread_idx, addr, 0, reqid)
+        if not core.issue_pcx(pkt):
+            thread.state = _RETRY
+            return False
+        thread.state = _WAIT
+        core._num_ready -= 1
+        thread.wait_reqid = reqid
+        thread.wait_rd = rd
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _make_st(instr):
+    ra, rb, imm = instr.ra, instr.rb, instr.imm
+
+    def h(
+        core,
+        thread,
+        cycle,
+        _M=WORD_MASK,
+        _Pkt=PcxPacket,
+        _STORE=PcxType.STORE,
+        _RETRY=ThreadState.RETRY,
+        _MIS=TrapKind.MISALIGNED,
+        _BAD=TrapKind.BAD_ADDR,
+        _CREDITS=STORE_CREDITS,
+    ):
+        regs = thread.regs
+        addr = (regs[ra] + imm) & _M
+        if addr & 7:
+            return core._trap(thread, _MIS, addr)
+        check = core.check_addr
+        if check is not None and not check(addr):
+            return core._trap(thread, _BAD, addr)
+        if thread.stores_inflight >= _CREDITS:
+            thread.state = _RETRY
+            return False
+        reqid = core.alloc_reqid()
+        data = regs[rb]
+        pkt = _Pkt(_STORE, core.core_idx, thread.thread_idx, addr, data, reqid)
+        if not core.issue_pcx(pkt):
+            thread.state = _RETRY
+            return False
+        # write-through with allocate-on-store into the local L1
+        idx = (addr >> 3) & (core._l1_size - 1)
+        core._l1_tags[idx] = addr
+        core._l1_vals[idx] = data
+        dirty = core._l1_dirty
+        if dirty is not None:
+            dirty.add(idx)
+        thread.stores_inflight += 1
+        thread.pc += 1
+        thread.retired += 1
+        return True
+
+    return h
+
+
+def _atomic_factory(is_faa: bool):
+    ptype = PcxType.ATOMIC_ADD if is_faa else PcxType.ATOMIC_TAS
+
+    def _make(instr):
+        rd, ra, rb = instr.rd, instr.ra, instr.rb
+
+        def h(
+            core,
+            thread,
+            cycle,
+            _M=WORD_MASK,
+            _Pkt=PcxPacket,
+            _T=ptype,
+            _WAIT=ThreadState.WAIT_MEM,
+            _RETRY=ThreadState.RETRY,
+            _MIS=TrapKind.MISALIGNED,
+            _BAD=TrapKind.BAD_ADDR,
+            _FAA=is_faa,
+        ):
+            if thread.pending_atomic:
+                # this is the deferred re-issue after the store drain
+                # (only the same atomic instruction can re-execute with
+                # the flag set, so clearing it here is equivalent to the
+                # old clear-on-every-dispatch)
+                thread.pending_atomic = False
+                core._num_atomic_wait -= 1
+            regs = thread.regs
+            addr = regs[ra] & _M
+            if addr & 7:
+                return core._trap(thread, _MIS, addr)
+            check = core.check_addr
+            if check is not None and not check(addr):
+                return core._trap(thread, _BAD, addr)
+            if thread.stores_inflight > 0:
+                # drain posted stores before the atomic (fence semantics)
+                thread.state = _WAIT
+                thread.pending_atomic = True
+                core._num_ready -= 1
+                core._num_atomic_wait += 1
+                return False
+            reqid = core.alloc_reqid()
+            operand = regs[rb] if _FAA else 0
+            pkt = _Pkt(_T, core.core_idx, thread.thread_idx, addr, operand, reqid)
+            if not core.issue_pcx(pkt):
+                thread.state = _RETRY
+                return False
+            # atomics bypass the L1; drop any stale local copy
+            idx = (addr >> 3) & (core._l1_size - 1)
+            if core._l1_tags[idx] == addr:
+                core._l1_tags[idx] = -1
+                dirty = core._l1_dirty
+                if dirty is not None:
+                    dirty.add(idx)
+            thread.state = _WAIT
+            core._num_ready -= 1
+            thread.wait_reqid = reqid
+            thread.wait_rd = rd
+            thread.pc += 1
+            thread.retired += 1
+            return True
+
+        return h
+
+    return _make
+
+
+_HANDLER_FACTORIES = {
+    Op.NOP: _make_nop,
+    Op.LDI: _make_ldi,
+    Op.ADD: _alu_reg_factory("regs[ra] + regs[rb]"),
+    Op.SUB: _alu_reg_factory("regs[ra] - regs[rb]"),
+    Op.MUL: _alu_reg_factory("regs[ra] * regs[rb]"),
+    Op.AND: _alu_reg_factory("regs[ra] & regs[rb]"),
+    Op.OR: _alu_reg_factory("regs[ra] | regs[rb]"),
+    Op.XOR: _alu_reg_factory("regs[ra] ^ regs[rb]"),
+    Op.SHL: _alu_reg_factory("regs[ra] << (regs[rb] & 63)"),
+    Op.SHR: _alu_reg_factory("regs[ra] >> (regs[rb] & 63)"),
+    Op.CMPLT: _alu_reg_factory("1 if regs[ra] < regs[rb] else 0"),
+    Op.ADDI: _alu_imm_factory("regs[ra] + imm"),
+    Op.MULI: _alu_imm_factory("regs[ra] * imm"),
+    Op.ANDI: _alu_imm_factory("regs[ra] & imm"),
+    Op.ORI: _alu_imm_factory("regs[ra] | imm"),
+    Op.XORI: _alu_imm_factory("regs[ra] ^ imm"),
+    Op.SHLI: _alu_imm_factory("regs[ra] << (imm & 63)"),
+    Op.SHRI: _alu_imm_factory("regs[ra] >> (imm & 63)"),
+    Op.LD: _make_ld,
+    Op.ST: _make_st,
+    Op.TAS: _atomic_factory(False),
+    Op.FAA: _atomic_factory(True),
+    Op.BEQ: _branch_factory("=="),
+    Op.BNE: _branch_factory("!="),
+    Op.BLT: _branch_factory("<"),
+    Op.BGE: _branch_factory(">="),
+    Op.JMP: _make_jmp,
+    Op.OUT: _make_out,
+    Op.ASSERT_EQ: _make_assert_eq,
+    Op.HALT: _make_halt,
+    Op.MOD: _make_mod,
+    Op.DIV: _make_div,
+}

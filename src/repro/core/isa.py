@@ -82,7 +82,7 @@ ATOMIC_OPS = frozenset({Op.TAS, Op.FAA})
 CONTROL_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instr:
     """One instruction.
 

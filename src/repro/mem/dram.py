@@ -20,12 +20,20 @@ _WORD_MASK = (1 << 64) - 1
 
 
 class Dram:
-    """Sparse 64-bit-word main memory (zero-initialized)."""
+    """Sparse 64-bit-word main memory (zero-initialized).
 
-    __slots__ = ("words",)
+    When dirty-word tracking is enabled (delta snapshots), every written
+    word address is recorded so a checkpoint can copy only the words
+    that changed since the previous one instead of the whole dict.
+    """
+
+    __slots__ = ("words", "_dirty")
 
     def __init__(self) -> None:
         self.words: dict[int, int] = {}
+        #: written word addresses since the last delta capture (None:
+        #: tracking disabled -- the default outside golden runs)
+        self._dirty: "set[int] | None" = None
 
     def read_word(self, addr: int) -> int:
         return self.words.get(addr & ~7, 0)
@@ -38,6 +46,30 @@ class Dram:
         else:
             # keep the dict sparse: zero is the default
             self.words.pop(addr, None)
+        if self._dirty is not None:
+            self._dirty.add(addr)
+
+    # ------------------------------------------------------------------
+    # Dirty-word tracking (delta snapshots)
+    # ------------------------------------------------------------------
+    def start_dirty_tracking(self) -> None:
+        self._dirty = set()
+
+    def stop_dirty_tracking(self) -> None:
+        self._dirty = None
+
+    def take_dirty_delta(self) -> dict[int, "int | None"]:
+        """Words written since the last capture: addr -> current value.
+
+        ``None`` marks a word that is now zero (erased from the sparse
+        dict).  Resets the dirty set.
+        """
+        if self._dirty is None:
+            raise RuntimeError("dirty tracking is not enabled")
+        get = self.words.get
+        delta = {addr: get(addr) for addr in self._dirty}
+        self._dirty = set()
+        return delta
 
     def read_line(self, line_addr: int) -> tuple[int, ...]:
         base = line_addr & ~(LINE_BYTES - 1)
@@ -59,6 +91,11 @@ class Dram:
         return dict(self.words)
 
     def restore(self, state: dict[int, int]) -> None:
+        if self._dirty is not None:
+            # conservative: a wholesale replacement dirties every word
+            # that exists on either side
+            self._dirty.update(self.words)
+            self._dirty.update(state)
         self.words = dict(state)
 
     def footprint_words(self) -> int:

@@ -54,8 +54,9 @@ class L2BankState:
     # ------------------------------------------------------------------
     def lookup(self, addr: int) -> tuple[int, int] | None:
         """Return ``(set, way)`` of the hit line, or None on miss."""
-        set_idx = self.amap.set_of(addr)
-        tag = self.amap.tag_of(addr)
+        amap = self.amap
+        set_idx = (addr >> amap._set_shift) & amap._set_mask
+        tag = addr >> amap._tag_shift
         ways = self.lines[set_idx]
         for way in range(self.ways):
             line = ways[way]

@@ -215,14 +215,17 @@ class L2cCosimAdapter(CosimAdapterBase):
 
     def attach(self) -> None:
         self.machine.l2banks[self.bank] = self
+        self.machine.uncore_changed()
 
     def detach(self) -> None:
         """Transfer the (possibly corrupted) state back (Fig. 2, step 10)."""
         self.target.extract_state(self.machine.l2states[self.bank])
         self.machine.l2banks[self.bank] = self.hl
+        self.machine.uncore_changed()
 
     def release(self) -> None:
         self.machine.l2banks[self.bank] = self.hl
+        self.machine.uncore_changed()
 
 
 class McuCosimAdapter(CosimAdapterBase):
@@ -270,12 +273,15 @@ class McuCosimAdapter(CosimAdapterBase):
 
     def attach(self) -> None:
         self.machine.mcus[self.mcu_idx] = self
+        self.machine.uncore_changed()
 
     def detach(self) -> None:
         self.machine.mcus[self.mcu_idx] = self.hl
+        self.machine.uncore_changed()
 
     def release(self) -> None:
         self.machine.mcus[self.mcu_idx] = self.hl
+        self.machine.uncore_changed()
 
 
 class CcxCosimAdapter(CosimAdapterBase):
@@ -323,12 +329,15 @@ class CcxCosimAdapter(CosimAdapterBase):
 
     def attach(self) -> None:
         self.machine.ccx = self
+        self.machine.uncore_changed()
 
     def detach(self) -> None:
         self.machine.ccx = self.hl
+        self.machine.uncore_changed()
 
     def release(self) -> None:
         self.machine.ccx = self.hl
+        self.machine.uncore_changed()
 
 
 class _CapturePort:
@@ -406,6 +415,7 @@ class PcieCosimAdapter(CosimAdapterBase):
 
     def attach(self) -> None:
         self.machine.pcie = self
+        self.machine.uncore_changed()
 
     def detach(self) -> None:
         """Copy the descriptor state back to the high-level model."""
@@ -413,9 +423,11 @@ class PcieCosimAdapter(CosimAdapterBase):
         self.hl.active = bool(self.target.dma_active.value)
         self.hl.finish_cycle = self.target.finish_cycle
         self.machine.pcie = self.hl
+        self.machine.uncore_changed()
 
     def release(self) -> None:
         self.machine.pcie = self.hl
+        self.machine.uncore_changed()
 
 
 def make_adapter(machine, component: str, instance: int = 0) -> CosimAdapterBase:

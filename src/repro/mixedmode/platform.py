@@ -26,8 +26,9 @@ from repro.mixedmode.adapters import (
     L2cCosimAdapter,
     make_adapter,
 )
-from repro.system.machine import Machine, MachineConfig
+from repro.system.machine import DEFAULT_ENGINE, Machine, MachineConfig
 from repro.system.outcome import Outcome, classify_outcome
+from repro.system.snapshots import SnapshotChain
 from repro.workloads import build_workload
 from repro.workloads.base import WorkloadImage
 
@@ -38,7 +39,10 @@ class CosimConfig:
 
     Attributes:
         snapshot_interval: accelerated-mode snapshot period Cf
-            (paper: 2M cycles at full scale).
+            (paper: 2M cycles at full scale).  Delta snapshot chains
+            made checkpoints cheap, so the default is dense: a shorter
+            period directly cuts the phase-1 replay distance
+            (restore-then-replay dominates injection-run setup).
         warmup_min / warmup_jitter: warm-up period before injection; the
             actual period is ``warmup_min + U[0, warmup_jitter)``
             (paper: at least 1,000 cycles, randomized).
@@ -50,7 +54,7 @@ class CosimConfig:
         quiesce_limit: bound on waiting for the component to go idle.
     """
 
-    snapshot_interval: int = 5_000
+    snapshot_interval: int = 1_000
     warmup_min: int = 500
     warmup_jitter: int = 500
     check_interval: int = 100
@@ -61,11 +65,16 @@ class CosimConfig:
 
 @dataclass
 class GoldenRun:
-    """Artefacts of the error-free reference execution."""
+    """Artefacts of the error-free reference execution.
+
+    ``snapshots`` maps checkpoint cycle to a full machine snapshot; it
+    is usually a :class:`~repro.system.snapshots.SnapshotChain` (deltas
+    on disk -- materialized on access), but any mapping works.
+    """
 
     cycles: int
     output: dict[int, int]
-    snapshots: dict[int, dict]
+    snapshots: "dict[int, dict] | SnapshotChain"
     pcie_window: "tuple[int, int] | None" = None
     retired: int = 0
 
@@ -125,30 +134,44 @@ def compute_golden(
     ``keep_snapshots=False`` skips the periodic whole-machine snapshots
     -- the right mode for golden-only experiments that will never
     restore into the run (snapshots dominate the golden run's memory
-    and time cost).
+    and time cost).  Kept snapshots are stored as a delta
+    :class:`~repro.system.snapshots.SnapshotChain` (full base + per-Cf
+    dirty-state deltas).
     """
-    snapshots = {0: machine.snapshot()} if keep_snapshots else {}
+    chain = SnapshotChain(machine) if keep_snapshots else None
+    if chain is not None:
+        chain.checkpoint()
     cf = cosim.snapshot_interval
     watchdog = machine.config.watchdog_cycles
     cap = machine.config.max_cycles
+    step = machine.step
+    # first cf multiple strictly after the entry cycle (machines usually
+    # enter at cycle 0, but compute_golden accepts any starting point)
+    next_ckpt = (
+        machine.cycle + cf - machine.cycle % cf if chain is not None else None
+    )
     while True:
-        if machine.all_halted():
+        # O(1) per-cycle checks (counter-backed; == all_halted/any_trap)
+        if machine._live_threads == 0:
             break
-        trap = machine.any_trap()
-        if trap is not None:
-            raise RuntimeError(f"golden run trapped: {trap}")
+        if machine._trapped_threads:
+            raise RuntimeError(f"golden run trapped: {machine.any_trap()}")
         if machine.cycle >= cap:
             raise RuntimeError("golden run exceeded the cycle cap")
         if machine.cycle - machine._last_retire_cycle > watchdog:
             raise RuntimeError("golden run hung")
-        machine.step()
-        if keep_snapshots and machine.cycle % cf == 0:
-            snapshots[machine.cycle] = machine.snapshot()
+        step()
+        if next_ckpt is not None and machine.cycle >= next_ckpt:
+            if machine.cycle % cf == 0:
+                chain.checkpoint()
+            next_ckpt = machine.cycle + cf - (machine.cycle % cf)
+    if chain is not None:
+        chain.finalize()
     window = machine.pcie.transfer_window() if want_pcie_window else None
     return GoldenRun(
         cycles=machine.cycle,
         output=dict(machine.output),
-        snapshots=snapshots,
+        snapshots=chain if chain is not None else {},
         pcie_window=window,
         retired=machine.retired_total,
     )
@@ -160,16 +183,21 @@ class MixedModePlatform:
     def __init__(
         self,
         benchmark: str,
-        machine_config: MachineConfig = MachineConfig(),
-        cosim_config: CosimConfig = CosimConfig(),
+        machine_config: "MachineConfig | None" = None,
+        cosim_config: "CosimConfig | None" = None,
         scale: float = 1.0 / 40_000.0,
         seed: int = 2015,
         pcie_input: bool = False,
         image: "WorkloadImage | None" = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.benchmark = benchmark
-        self.machine_config = machine_config
-        self.cosim = cosim_config
+        self.machine_config = (
+            machine_config if machine_config is not None else MachineConfig()
+        )
+        machine_config = self.machine_config
+        self.cosim = cosim_config if cosim_config is not None else CosimConfig()
+        self.engine = engine
         self.seed = seed
         self.pcie_input = pcie_input
         self.image = image if image is not None else build_workload(
@@ -182,7 +210,7 @@ class MixedModePlatform:
     # Golden run (one-time, Sec. 2.2 phase 1 setup)
     # ------------------------------------------------------------------
     def _fresh_machine(self) -> Machine:
-        machine = Machine(self.machine_config)
+        machine = Machine(self.machine_config, engine=self.engine)
         machine.load_workload(self.image, pcie_input=self.pcie_input)
         return machine
 

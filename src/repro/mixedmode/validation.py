@@ -121,6 +121,7 @@ class ValidationExperiment:
         machine.load_workload(self.image)
         server = _FullCosimBank(machine, bank)
         machine.l2banks[bank] = server
+        machine.uncore_changed()
         return machine
 
     @staticmethod

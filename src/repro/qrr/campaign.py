@@ -127,7 +127,7 @@ class QrrCampaign:
             if (
                 not server.recovering
                 and server.in_flight() == 0
-                and machine.any_trap() is None
+                and not machine.has_trap()
             ):
                 break
         server.detach()

@@ -210,10 +210,12 @@ class QrrL2cServer:
     # ------------------------------------------------------------------
     def attach(self) -> None:
         self.machine.l2banks[self.bank] = self
+        self.machine.uncore_changed()
 
     def detach(self) -> None:
         self.rtl.extract_state(self.machine.l2states[self.bank])
         self.machine.l2banks[self.bank] = self.hl
+        self.machine.uncore_changed()
 
 
 class QrrMcuServer:
@@ -317,6 +319,8 @@ class QrrMcuServer:
 
     def attach(self) -> None:
         self.machine.mcus[self.mcu_idx] = self
+        self.machine.uncore_changed()
 
     def detach(self) -> None:
         self.machine.mcus[self.mcu_idx] = self.hl
+        self.machine.uncore_changed()

@@ -41,14 +41,25 @@ class AddressMap:
         ):
             if value <= 0 or value & (value - 1):
                 raise ValueError(f"{field_name} must be a positive power of two")
+        # precomputed decomposition constants: the decode methods run on
+        # every memory operation, so they must not re-derive shifts
+        bank_shift = LINE_BYTES.bit_length() - 1  # log2(64) = 6
+        set_shift = bank_shift + (self.l2_banks.bit_length() - 1)
+        tag_shift = set_shift + (self.l2_sets.bit_length() - 1)
+        object.__setattr__(self, "_bank_shift", bank_shift)
+        object.__setattr__(self, "_bank_mask", self.l2_banks - 1)
+        object.__setattr__(self, "_set_shift", set_shift)
+        object.__setattr__(self, "_set_mask", self.l2_sets - 1)
+        object.__setattr__(self, "_tag_shift", tag_shift)
+        object.__setattr__(self, "_banks_per_mcu", self.l2_banks // self.mcus)
 
     @property
     def bank_shift(self) -> int:
-        return LINE_BYTES.bit_length() - 1  # log2(64) = 6
+        return self._bank_shift
 
     @property
     def banks_per_mcu(self) -> int:
-        return self.l2_banks // self.mcus
+        return self._banks_per_mcu
 
     def word_align(self, addr: int) -> int:
         return addr & ~(WORD_BYTES - 1)
@@ -66,36 +77,32 @@ class AddressMap:
 
     def bank_of(self, addr: int) -> int:
         """L2 bank serving this address (line-interleaved)."""
-        return (addr >> self.bank_shift) & (self.l2_banks - 1)
+        return (addr >> self._bank_shift) & self._bank_mask
 
     def mcu_of(self, addr: int) -> int:
         """DRAM controller serving this address."""
-        return self.bank_of(addr) // self.banks_per_mcu
+        return self.bank_of(addr) // self._banks_per_mcu
 
     def mcu_of_bank(self, bank: int) -> int:
-        return bank // self.banks_per_mcu
+        return bank // self._banks_per_mcu
 
     def banks_of_mcu(self, mcu: int) -> tuple[int, ...]:
         """The L2 banks that sit in front of a given MCU."""
-        base = mcu * self.banks_per_mcu
-        return tuple(range(base, base + self.banks_per_mcu))
+        base = mcu * self._banks_per_mcu
+        return tuple(range(base, base + self._banks_per_mcu))
 
     def set_of(self, addr: int) -> int:
         """L2 set index within the bank."""
-        shift = self.bank_shift + (self.l2_banks.bit_length() - 1)
-        return (addr >> shift) & (self.l2_sets - 1)
+        return (addr >> self._set_shift) & self._set_mask
 
     def tag_of(self, addr: int) -> int:
         """L2 tag for the address."""
-        shift = (
-            self.bank_shift
-            + (self.l2_banks.bit_length() - 1)
-            + (self.l2_sets.bit_length() - 1)
-        )
-        return addr >> shift
+        return addr >> self._tag_shift
 
     def rebuild_addr(self, tag: int, set_index: int, bank: int) -> int:
         """Inverse of the tag/set/bank decomposition (line aligned)."""
-        shift_set = self.bank_shift + (self.l2_banks.bit_length() - 1)
-        shift_tag = shift_set + (self.l2_sets.bit_length() - 1)
-        return (tag << shift_tag) | (set_index << shift_set) | (bank << self.bank_shift)
+        return (
+            (tag << self._tag_shift)
+            | (set_index << self._set_shift)
+            | (bank << self._bank_shift)
+        )

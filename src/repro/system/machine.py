@@ -3,7 +3,22 @@
 Binds cores, crossbar, L2 banks, MCUs, the PCIe DMA engine and DRAM into
 a cycle-steppable SoC.  All uncore components are pluggable: the
 mixed-mode platform swaps a high-level model for an RTL adapter at
-co-simulation entry and back at exit.
+co-simulation entry and back at exit.  **Anything that swaps an uncore
+component in or out must call :meth:`Machine.uncore_changed`** so the
+event-driven engine reschedules it (the shipped adapters and QRR servers
+do).
+
+Two cycle engines share identical observable behaviour:
+
+* ``engine="event"`` (default) -- an activity-tracked, event-driven
+  stepper.  Each high-level uncore component reports its next-active
+  cycle (:meth:`next_active_cycle`); ``step()`` only ticks components
+  that are due and cores that can issue, and the batched run loops skip
+  whole idle stretches (all uncore quiescent, no core issuable) in one
+  hop.  Components without the protocol (RTL co-simulation adapters,
+  QRR servers) are conservatively ticked every cycle.
+* ``engine="reference"`` -- the original everything-every-cycle stepper,
+  kept as the differential-testing and benchmarking baseline.
 
 The machine also provides the services the analyses need:
 
@@ -12,7 +27,8 @@ The machine also provides the services the analyses need:
 * the application output channel (OMM detection),
 * a per-word last-store log (rollback-distance analysis, Fig. 9),
 * a corrupted-line watch set (error-propagation latency, Fig. 8),
-* whole-machine snapshots (the platform's 2M-cycle checkpoints).
+* whole-machine snapshots (the platform's 2M-cycle checkpoints), with
+  delta capture support for :class:`repro.system.snapshots.SnapshotChain`.
 """
 
 from __future__ import annotations
@@ -20,19 +36,29 @@ from __future__ import annotations
 import bisect
 import dataclasses
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.cpu import Core, ThreadState
 from repro.mem.dram import Dram
 from repro.mem.l2state import L2BankState
 from repro.soc.address import AddressMap
-from repro.soc.packets import CpxPacket, McuReply, McuRequest, PcxPacket
+from repro.soc.packets import CpxPacket, CpxType, McuReply, McuRequest, PcxPacket
 from repro.system.outcome import RunResult
 from repro.uncore.highlevel.ccx import HighLevelCcx
 from repro.uncore.highlevel.l2c import HighLevelL2Bank
 from repro.uncore.highlevel.mcu import HighLevelMcu
 from repro.uncore.highlevel.pcie import HighLevelPcieDma
 from repro.workloads.base import WorkloadImage
+
+#: Engines understood by :class:`Machine`.
+ENGINES = ("event", "reference")
+
+#: The engine used when none is requested.
+DEFAULT_ENGINE = "event"
+
+#: Wake-cycle sentinels for the active-set scheduler.
+_NEVER = 1 << 62
+_ALWAYS = -1
 
 
 @dataclass(frozen=True)
@@ -86,12 +112,28 @@ class _DmaPort:
 class Machine:
     """A cycle-steppable SoC model."""
 
-    def __init__(self, config: MachineConfig = MachineConfig()) -> None:
+    def __init__(
+        self,
+        config: "MachineConfig | None" = None,
+        engine: "str | None" = None,
+    ) -> None:
+        # a fresh config per machine -- a shared module-import-time
+        # default instance would alias every machine built without one
+        config = config if config is not None else MachineConfig()
+        engine = engine if engine is not None else DEFAULT_ENGINE
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
         self.config = config
+        self.engine = engine
+        self._reference = engine == "reference"
         self.amap = AddressMap(
             l2_banks=config.l2_banks, l2_sets=config.l2_sets, mcus=config.mcus
         )
         self.cycle = 0
+        #: total cycles this machine has advanced through (including
+        #: event-engine idle hops); monotonic, never snapshot/restored --
+        #: the benchmark harness's cycles/sec numerator
+        self.cycles_advanced = 0
         self.dram = Dram()
         self.output: dict[int, int] = {}
         self.last_store_cycle: dict[int, int] = {}
@@ -100,6 +142,8 @@ class Machine:
         self._reqid = 1
         self._regions: list[tuple[int, int, str]] = []
         self._region_starts: list[int] = []
+        #: (base, end) of the most recently hit region (empty sentinel)
+        self._region_cache = (1, 0)
         self._last_retire_cycle = 0
         self.retired_total = 0
         #: word addresses known to be corrupted by an injected error;
@@ -119,6 +163,8 @@ class Machine:
             )
             for i in range(config.cores)
         ]
+        for core in self.cores:
+            core.on_thread_stop = self._thread_stopped
         self.l2states: list[L2BankState] = [
             L2BankState(b, self.amap, ways=config.l2_ways)
             for b in range(config.l2_banks)
@@ -145,6 +191,28 @@ class Machine:
         self._mcu_ingress: list[deque[McuRequest]] = [
             deque() for _ in range(config.mcus)
         ]
+        # -- event-engine bookkeeping ----------------------------------
+        #: threads not yet HALTED/TRAPPED, and threads that trapped --
+        #: the O(1) run-loop termination checks
+        self._live_threads = 0
+        self._trapped_threads = 0
+        #: per-component next-due cycles and their global minimum
+        self._wake_banks: list[int] = [_NEVER] * config.l2_banks
+        self._wake_mcus: list[int] = [_NEVER] * config.mcus
+        self._wake_ccx = _NEVER
+        self._wake_pcie = _NEVER
+        self._uncore_wake = _NEVER
+        # -- delta-snapshot bookkeeping --------------------------------
+        self._delta_tracking = False
+        self._store_log_dirty: "set[int] | None" = None
+        self._dirty_banks = [True] * config.l2_banks
+        self._dirty_mcus = [True] * config.mcus
+        self._dirty_pcie = True
+        self._refresh_wakes()
+        # per-instance dispatch: step() callers skip the engine branch
+        self.step = (
+            self._step_reference if self._reference else self._step_event
+        )
 
     # ------------------------------------------------------------------
     # Services wired into cores / uncore models
@@ -157,16 +225,32 @@ class Machine:
     def _issue_pcx(self, pkt: PcxPacket) -> bool:
         bank = self.amap.bank_of(pkt.addr)
         self.ccx.send_pcx(bank, pkt, self.cycle)
+        # a just-sent packet can only be ready at cycle + latency, and
+        # anything older in the crossbar is already reflected in the
+        # wake; fixed-latency models need no probe call here
+        latency = self._ccx_latency
+        wake = _ALWAYS if latency is None else self.cycle + latency
+        if wake < self._wake_ccx:
+            self._wake_ccx = wake
+        if wake < self._uncore_wake:
+            self._uncore_wake = wake
         return True
 
     def _check_addr(self, addr: int) -> bool:
+        # most accesses land in the most recently hit region
+        lo, hi = self._region_cache
+        if lo <= addr < hi:
+            return True
         if not self._region_starts:
             return False
         idx = bisect.bisect_right(self._region_starts, addr) - 1
         if idx < 0:
             return False
         base, size, _name = self._regions[idx]
-        return base <= addr < base + size
+        if base <= addr < base + size:
+            self._region_cache = (base, base + size)
+            return True
+        return False
 
     def _write_output(self, slot: int, value: int) -> None:
         self.output[slot] = value
@@ -174,11 +258,21 @@ class Machine:
     def _log_store(self, word_addr: int, cycle: int) -> None:
         if self.track_store_log:
             self.last_store_cycle[word_addr] = cycle
+            if self._store_log_dirty is not None:
+                self._store_log_dirty.add(word_addr)
 
     def _send_mcu(self, req: McuRequest) -> None:
         # order-preserving per-MCU ingress; drained in step() so a
         # back-pressuring MCU (RTL request queue full) never loses requests
-        self._mcu_ingress[self.amap.mcu_of_bank(req.src_bank)].append(req)
+        idx = self.amap.mcu_of_bank(req.src_bank)
+        self._mcu_ingress[idx].append(req)
+        cycle = self.cycle
+        if self._wake_mcus[idx] > cycle:
+            self._wake_mcus[idx] = cycle
+        if self._mcus_wake_min > cycle:
+            self._mcus_wake_min = cycle
+        if self._uncore_wake > cycle:
+            self._uncore_wake = cycle
 
     def dma_write_word(self, addr: int, value: int) -> None:
         """Coherent device write (PCIe DMA): memory plus resident L2 copy."""
@@ -187,9 +281,110 @@ class Machine:
         server = self.l2banks[bank]
         if hasattr(server, "dma_update"):
             server.dma_update(addr, value)
+            self._dirty_banks[bank] = True
 
     def _route_mcu_reply(self, reply: McuReply) -> None:
-        self.l2banks[reply.src_bank].deliver_mcu_reply(reply)
+        bank = reply.src_bank
+        self.l2banks[bank].deliver_mcu_reply(reply)
+        self._dirty_banks[bank] = True
+        wake = self.cycle + 1
+        if self._wake_banks[bank] > wake:
+            self._wake_banks[bank] = wake
+        if self._banks_wake_min > wake:
+            self._banks_wake_min = wake
+        if self._uncore_wake > wake:
+            self._uncore_wake = wake
+
+    def _thread_stopped(self, trapped: bool) -> None:
+        self._live_threads -= 1
+        if trapped:
+            self._trapped_threads += 1
+
+    # ------------------------------------------------------------------
+    # Activity tracking (the event engine's active set)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _probe_of(comp):
+        """The component's ``next_active_cycle`` method, or None for
+        models without the protocol (RTL co-simulation adapters, QRR
+        servers): those are conservatively ticked every cycle."""
+        return getattr(comp, "next_active_cycle", None)
+
+    @staticmethod
+    def _wake_from(probe) -> int:
+        if probe is None:
+            return _ALWAYS
+        nxt = probe()
+        return _NEVER if nxt is None else nxt
+
+    def _refresh_wakes(self) -> None:
+        """Recompute the whole activity schedule from component state."""
+        self._nac_ccx = self._probe_of(self.ccx)
+        self._nac_banks = [self._probe_of(bank) for bank in self.l2banks]
+        self._nac_mcus = [self._probe_of(mcu) for mcu in self.mcus]
+        self._nac_pcie = self._probe_of(self.pcie)
+        #: fixed crossbar latency when known (None: probe every send)
+        self._ccx_latency = (
+            getattr(self.ccx, "latency", None)
+            if self._nac_ccx is not None
+            else None
+        )
+        self._wake_ccx = self._wake_from(self._nac_ccx)
+        self._wake_banks = [
+            _ALWAYS if self._bank_ingress[i] else self._wake_from(probe)
+            for i, probe in enumerate(self._nac_banks)
+        ]
+        self._wake_mcus = [
+            _ALWAYS if self._mcu_ingress[i] else self._wake_from(probe)
+            for i, probe in enumerate(self._nac_mcus)
+        ]
+        self._wake_pcie = self._wake_from(self._nac_pcie)
+        self._banks_wake_min = min(self._wake_banks)
+        self._mcus_wake_min = min(self._wake_mcus)
+        self._recompute_uncore_wake()
+
+    def _recompute_uncore_wake(self) -> None:
+        wake = self._wake_ccx
+        if self._wake_pcie < wake:
+            wake = self._wake_pcie
+        if self._banks_wake_min < wake:
+            wake = self._banks_wake_min
+        if self._mcus_wake_min < wake:
+            wake = self._mcus_wake_min
+        self._uncore_wake = wake
+
+    def uncore_changed(self) -> None:
+        """Reschedule after an uncore component swap.
+
+        Must be called whenever ``machine.ccx``, ``machine.pcie`` or an
+        entry of ``machine.l2banks``/``machine.mcus`` is replaced (the
+        co-simulation adapters and QRR servers do this in their
+        attach/detach/release paths); otherwise the event engine may keep
+        an earlier component's sleep schedule for the new one.
+        """
+        self._refresh_wakes()
+
+    def _recount_threads(self) -> None:
+        live = trapped = 0
+        for core in self.cores:
+            for thread in core.threads:
+                state = thread.state
+                if state is not ThreadState.HALTED and (
+                    state is not ThreadState.TRAPPED
+                ):
+                    live += 1
+                if thread.trap is not None:
+                    trapped += 1
+        self._live_threads = live
+        self._trapped_threads = trapped
+
+    def live_threads(self) -> int:
+        """Threads not yet halted or trapped (O(1))."""
+        return self._live_threads
+
+    def has_trap(self) -> bool:
+        """Whether any thread has trapped (O(1); see :meth:`any_trap`)."""
+        return self._trapped_threads > 0
 
     # ------------------------------------------------------------------
     # Memory layout
@@ -248,12 +443,158 @@ class Machine:
                 for i, word in enumerate(image.input_file_words):
                     self.dram.write_word(image.input_dest + 8 * i, word)
                 self.dram.write_word(image.input_status_addr, 1)
+        self._recount_threads()
+        self._refresh_wakes()
 
     # ------------------------------------------------------------------
     # Cycle loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance the whole machine by one cycle."""
+        """Advance the whole machine by one cycle.
+
+        (``__init__`` shadows this dispatcher with the engine's bound
+        step method, so per-cycle calls skip the engine branch.)
+        """
+        if self._reference:
+            self._step_reference()
+        else:
+            self._step_event()
+
+    def _step_event(self) -> None:
+        cycle = self.cycle
+        # 1. cores issue (only cores with an issuable thread)
+        retired = 0
+        for core in self.cores:
+            if core._num_ready or core._num_atomic_wait:
+                if core.step(cycle):
+                    retired += 1
+        if retired:
+            self.retired_total += retired
+            self._last_retire_cycle = cycle
+        # 2-6. uncore, only when some component is due
+        if self._uncore_wake <= cycle:
+            self._step_uncore(cycle)
+        self.cycle = cycle + 1
+        self.cycles_advanced += 1
+
+    def _step_uncore(self, cycle: int) -> None:
+        """Tick every due uncore component, preserving the reference
+        stage order (crossbar -> banks -> MCUs -> CPX delivery -> PCIe).
+
+        Skipped components are provably no-ops this cycle: their
+        :meth:`next_active_cycle` is in the future and nothing has been
+        pushed at them since it was computed.
+        """
+        ccx = self.ccx
+        wake_banks = self._wake_banks
+        ccx_due = self._wake_ccx <= cycle
+        if ccx_due:
+            ccx.tick(cycle)
+            for bank, pkt in ccx.deliver_pcx(cycle):
+                self._bank_ingress[bank].append(pkt)
+                if wake_banks[bank] > cycle:
+                    wake_banks[bank] = cycle
+                if self._banks_wake_min > cycle:
+                    self._banks_wake_min = cycle
+        if self._banks_wake_min <= cycle:
+            banks = self.l2banks
+            dirty_banks = self._dirty_banks
+            banks_min = _NEVER
+            for bank_idx in range(len(banks)):
+                wake = wake_banks[bank_idx]
+                if wake > cycle:
+                    if wake < banks_min:
+                        banks_min = wake
+                    continue
+                server = banks[bank_idx]
+                dirty_banks[bank_idx] = True
+                ingress = self._bank_ingress[bank_idx]
+                while ingress:
+                    if not server.accept(ingress[0], cycle):
+                        break
+                    ingress.popleft()
+                sent = False
+                for cpx in server.tick(cycle):
+                    ccx.send_cpx(cpx, cycle, src=bank_idx)
+                    sent = True
+                if sent:
+                    latency = self._ccx_latency
+                    wake = _ALWAYS if latency is None else cycle + latency
+                    if wake < self._wake_ccx:
+                        self._wake_ccx = wake
+                if ingress:
+                    wake = cycle + 1
+                else:
+                    probe = self._nac_banks[bank_idx]
+                    wake = _ALWAYS if probe is None else probe()
+                    if wake is None:
+                        wake = _NEVER
+                wake_banks[bank_idx] = wake
+                if wake < banks_min:
+                    banks_min = wake
+            self._banks_wake_min = banks_min
+        if self._mcus_wake_min <= cycle:
+            wake_mcus = self._wake_mcus
+            mcus = self.mcus
+            mcus_min = _NEVER
+            for mcu_idx in range(len(mcus)):
+                wake = wake_mcus[mcu_idx]
+                if wake > cycle:
+                    if wake < mcus_min:
+                        mcus_min = wake
+                    continue
+                mcu = mcus[mcu_idx]
+                self._dirty_mcus[mcu_idx] = True
+                ingress = self._mcu_ingress[mcu_idx]
+                while ingress:
+                    if not mcu.accept(ingress[0], cycle):
+                        break
+                    ingress.popleft()
+                mcu.tick(cycle)
+                if ingress:
+                    wake = cycle + 1
+                else:
+                    probe = self._nac_mcus[mcu_idx]
+                    wake = _ALWAYS if probe is None else probe()
+                    if wake is None:
+                        wake = _NEVER
+                wake_mcus[mcu_idx] = wake
+                if wake < mcus_min:
+                    mcus_min = wake
+            self._mcus_wake_min = mcus_min
+        if self._wake_ccx <= cycle:
+            cores = self.cores
+            ncores = len(cores)
+            watch = self.corrupt_watch
+            for cpx in ccx.deliver_cpx(cycle):
+                if watch and self.corrupt_read_cycle is None:
+                    ctype = cpx.ctype
+                    if (cpx.addr & ~7) in watch and (
+                        ctype is CpxType.LOAD_RET or ctype is CpxType.ATOMIC_RET
+                    ):
+                        self.corrupt_read_cycle = cycle
+                if 0 <= cpx.core < ncores:
+                    cores[cpx.core].deliver_cpx(cpx)
+            probe = self._nac_ccx
+            wake = _ALWAYS if probe is None else probe()
+            self._wake_ccx = _NEVER if wake is None else wake
+        if self._wake_pcie <= cycle:
+            self._dirty_pcie = True
+            self.pcie.tick(cycle)
+            probe = self._nac_pcie
+            wake = _ALWAYS if probe is None else probe()
+            self._wake_pcie = _NEVER if wake is None else wake
+        wake = self._wake_ccx
+        if self._wake_pcie < wake:
+            wake = self._wake_pcie
+        if self._banks_wake_min < wake:
+            wake = self._banks_wake_min
+        if self._mcus_wake_min < wake:
+            wake = self._mcus_wake_min
+        self._uncore_wake = wake
+
+    def _step_reference(self) -> None:
+        """The original everything-every-cycle stepper (baseline)."""
         cycle = self.cycle
         # 1. cores issue
         retired = 0
@@ -290,9 +631,9 @@ class Machine:
         # 5. crossbar delivery toward cores
         for cpx in self.ccx.deliver_cpx(cycle):
             if self.corrupt_watch and self.corrupt_read_cycle is None:
-                if (cpx.addr & ~7) in self.corrupt_watch and cpx.ctype.name in (
-                    "LOAD_RET",
-                    "ATOMIC_RET",
+                ctype = cpx.ctype
+                if (cpx.addr & ~7) in self.corrupt_watch and (
+                    ctype is CpxType.LOAD_RET or ctype is CpxType.ATOMIC_RET
                 ):
                     self.corrupt_read_cycle = cycle
             if 0 <= cpx.core < len(self.cores):
@@ -300,6 +641,7 @@ class Machine:
         # 6. PCIe DMA
         self.pcie.tick(cycle)
         self.cycle = cycle + 1
+        self.cycles_advanced += 1
 
     def run(
         self,
@@ -312,6 +654,8 @@ class Machine:
         beyond which the run is declared hung (campaigns set it to a
         multiple of the error-free length).
         """
+        if not self._reference:
+            return self.run_fast(max_cycles, hang_factor_cycles)
         cap = max_cycles if max_cycles is not None else self.config.max_cycles
         if hang_factor_cycles is not None:
             cap = min(cap, hang_factor_cycles)
@@ -348,6 +692,78 @@ class Machine:
                 )
             self.step()
 
+    def run_fast(
+        self,
+        max_cycles: "int | None" = None,
+        hang_factor_cycles: "int | None" = None,
+    ) -> RunResult:
+        """Event-driven :meth:`run`: O(1) termination checks per cycle
+        and one-hop skips over stretches where no core can issue and the
+        uncore sleeps.  Bit-identical observables to the reference loop
+        (enforced by the differential test suite)."""
+        cap = max_cycles if max_cycles is not None else self.config.max_cycles
+        if hang_factor_cycles is not None:
+            cap = min(cap, hang_factor_cycles)
+        watchdog = self.config.watchdog_cycles
+        cores = self.cores
+        while True:
+            if self._trapped_threads:
+                return RunResult(
+                    completed=False,
+                    cycles=self.cycle,
+                    output=dict(self.output),
+                    trap=self.any_trap(),
+                    retired=self.retired_total,
+                )
+            if self._live_threads == 0:
+                self._drain_uncore(limit=10_000)
+                return RunResult(
+                    completed=True,
+                    cycles=self.cycle,
+                    output=dict(self.output),
+                    retired=self.retired_total,
+                )
+            cycle = self.cycle
+            if cycle >= cap or cycle - self._last_retire_cycle > watchdog:
+                return RunResult(
+                    completed=False,
+                    cycles=cycle,
+                    output=dict(self.output),
+                    hung=True,
+                    retired=self.retired_total,
+                )
+            retired = 0
+            active = False
+            for core in cores:
+                if core._num_ready or core._num_atomic_wait:
+                    active = True
+                    if core.step(cycle):
+                        retired += 1
+            if retired:
+                self.retired_total += retired
+                self._last_retire_cycle = cycle
+            if self._uncore_wake <= cycle:
+                self._step_uncore(cycle)
+                self.cycle = cycle + 1
+                self.cycles_advanced += 1
+            elif active:
+                self.cycle = cycle + 1
+                self.cycles_advanced += 1
+            else:
+                # idle stretch: nothing can change until the uncore's
+                # next event, the watchdog limit or the cap -- the
+                # intervening cycles are provably no-ops
+                target = self._uncore_wake
+                limit = self._last_retire_cycle + watchdog + 1
+                if limit < target:
+                    target = limit
+                if cap < target:
+                    target = cap
+                if target <= cycle:
+                    target = cycle + 1
+                self.cycles_advanced += target - cycle
+                self.cycle = target
+
     def uncore_idle(self) -> bool:
         """Whether all uncore components and ingress queues are empty."""
         if any(self._bank_ingress) or any(self._mcu_ingress):
@@ -367,13 +783,46 @@ class Machine:
 
     def run_cycles(self, n: int) -> None:
         """Advance exactly ``n`` cycles (no termination checks)."""
-        for _ in range(n):
-            self.step()
+        if self._reference:
+            for _ in range(n):
+                self.step()
+            return
+        self.run_until_cycle(self.cycle + n)
 
     def run_until_cycle(self, target: int) -> None:
         """Advance to an absolute cycle count."""
+        if self._reference:
+            while self.cycle < target:
+                self.step()
+            return
+        cores = self.cores
         while self.cycle < target:
-            self.step()
+            cycle = self.cycle
+            retired = 0
+            active = False
+            for core in cores:
+                if core._num_ready or core._num_atomic_wait:
+                    active = True
+                    if core.step(cycle):
+                        retired += 1
+            if retired:
+                self.retired_total += retired
+                self._last_retire_cycle = cycle
+            if self._uncore_wake <= cycle:
+                self._step_uncore(cycle)
+                self.cycle = cycle + 1
+                self.cycles_advanced += 1
+            elif active:
+                self.cycle = cycle + 1
+                self.cycles_advanced += 1
+            else:
+                nxt = self._uncore_wake
+                if nxt > target:
+                    nxt = target
+                if nxt <= cycle:
+                    nxt = cycle + 1
+                self.cycles_advanced += nxt - cycle
+                self.cycle = nxt
 
     def all_halted(self) -> bool:
         return all(core.all_halted() for core in self.cores)
@@ -407,6 +856,10 @@ class Machine:
         }
 
     def restore(self, snap: dict) -> None:
+        if self._delta_tracking:
+            raise RuntimeError(
+                "cannot restore while a delta snapshot capture is active"
+            )
         self.cycle = snap["cycle"]
         self.dram.restore(snap["dram"])
         self.output = dict(snap["output"])
@@ -426,3 +879,83 @@ class Machine:
         self._mcu_ingress = [deque(q) for q in snap["mcu_ingress"]]
         self.corrupt_watch = set()
         self.corrupt_read_cycle = None
+        self._recount_threads()
+        self._refresh_wakes()
+        self._dirty_banks = [True] * len(self.l2banks)
+        self._dirty_mcus = [True] * len(self.mcus)
+        self._dirty_pcie = True
+
+    # ------------------------------------------------------------------
+    # Delta capture (driven by repro.system.snapshots.SnapshotChain)
+    # ------------------------------------------------------------------
+    def delta_capture_begin(self) -> None:
+        """Arm dirty tracking: the next :meth:`delta_snapshot` captures
+        exactly what changed from this point on."""
+        self.dram.start_dirty_tracking()
+        for core in self.cores:
+            core.delta_capture_begin()
+        self._store_log_dirty = set()
+        self._delta_tracking = True
+        self._clear_dirty_flags()
+
+    def delta_capture_end(self) -> None:
+        """Disarm dirty tracking (no more delta captures)."""
+        self.dram.stop_dirty_tracking()
+        for core in self.cores:
+            core.delta_capture_end()
+        self._store_log_dirty = None
+        self._delta_tracking = False
+
+    def _clear_dirty_flags(self) -> None:
+        for core in self.cores:
+            core.dirty = False
+        self._dirty_banks = [False] * len(self.l2banks)
+        self._dirty_mcus = [False] * len(self.mcus)
+        self._dirty_pcie = False
+
+    def delta_snapshot(self) -> dict:
+        """State changed since the previous capture (see SnapshotChain).
+
+        Components whose dirty flag is clear are recorded as ``None``
+        (the chain folds forward from the previous stored entry).  The
+        reference engine cannot attribute mutations to components, so it
+        conservatively treats everything as dirty -- correct, just
+        without the storage savings.
+        """
+        if not self._delta_tracking:
+            raise RuntimeError("delta_capture_begin() was not called")
+        all_dirty = self._reference
+        store_dirty = self._store_log_dirty
+        last_store = self.last_store_cycle
+        delta = {
+            "cycle": self.cycle,
+            "reqid": self._reqid,
+            "last_retire_cycle": self._last_retire_cycle,
+            "retired_total": self.retired_total,
+            "output": dict(self.output),
+            "ccx": self.ccx.snapshot(),
+            "bank_ingress": [list(q) for q in self._bank_ingress],
+            "mcu_ingress": [list(q) for q in self._mcu_ingress],
+            "dram": self.dram.take_dirty_delta(),
+            "store_log": {a: last_store[a] for a in store_dirty},
+            "cores": [
+                core.delta_snapshot() if (all_dirty or core.dirty) else None
+                for core in self.cores
+            ],
+            "l2banks": [
+                bank.snapshot() if (all_dirty or dirty) else None
+                for bank, dirty in zip(self.l2banks, self._dirty_banks)
+            ],
+            "mcus": [
+                mcu.snapshot() if (all_dirty or dirty) else None
+                for mcu, dirty in zip(self.mcus, self._dirty_mcus)
+            ],
+            "pcie": (
+                self.pcie.snapshot()
+                if (all_dirty or self._dirty_pcie)
+                else None
+            ),
+        }
+        self._store_log_dirty = set()
+        self._clear_dirty_flags()
+        return delta

@@ -15,6 +15,9 @@ from repro.soc.packets import CpxPacket, PcxPacket
 #: One-way crossbar traversal latency, in cycles.
 CCX_LATENCY = 3
 
+#: Shared empty delivery result (callers never mutate deliveries).
+_EMPTY: list = []
+
 
 class HighLevelCcx:
     """Fixed-latency PCX/CPX delivery between cores and L2 banks."""
@@ -45,23 +48,44 @@ class HighLevelCcx:
 
     def deliver_pcx(self, cycle: int) -> list[tuple[int, PcxPacket]]:
         """Packets reaching the L2 banks this cycle: (bank, pkt)."""
+        pcx = self._pcx
+        if not pcx or pcx[0][0] > cycle:
+            return _EMPTY
         out = []
-        while self._pcx and self._pcx[0][0] <= cycle:
-            _ready, bank, pkt = self._pcx.popleft()
+        while pcx and pcx[0][0] <= cycle:
+            _ready, bank, pkt = pcx.popleft()
             out.append((bank, pkt))
             self.pcx_delivered += 1
         return out
 
     def deliver_cpx(self, cycle: int) -> list[CpxPacket]:
         """Packets reaching the cores this cycle."""
+        cpx = self._cpx
+        if not cpx or cpx[0][0] > cycle:
+            return _EMPTY
         out = []
-        while self._cpx and self._cpx[0][0] <= cycle:
-            out.append(self._cpx.popleft()[1])
+        while cpx and cpx[0][0] <= cycle:
+            out.append(cpx.popleft()[1])
             self.cpx_delivered += 1
         return out
 
     def in_flight(self) -> int:
         return len(self._pcx) + len(self._cpx)
+
+    def next_active_cycle(self) -> "int | None":
+        """Earliest cycle this model can do observable work (None: idle).
+
+        Both deques hold entries in ready-cycle order (fixed latency,
+        monotonically increasing send cycles), so the heads are the
+        earliest deliveries.  Skipping ``tick``/``deliver_*`` on cycles
+        before the returned value is provably a no-op.
+        """
+        nxt = self._pcx[0][0] if self._pcx else None
+        if self._cpx:
+            ready = self._cpx[0][0]
+            if nxt is None or ready < nxt:
+                nxt = ready
+        return nxt
 
     def snapshot(self) -> dict:
         return {

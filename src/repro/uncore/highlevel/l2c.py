@@ -41,6 +41,9 @@ HIT_LATENCY = 8
 #: Input queue capacity; accept() back-pressures beyond this.
 INPUT_QUEUE_DEPTH = 16
 
+#: Shared empty tick result (callers never mutate it).
+_EMPTY: list = []
+
 
 class HighLevelL2Bank:
     """Accelerated-mode model of one L2 cache bank (L2C instance).
@@ -146,13 +149,37 @@ class HighLevelL2Bank:
                 )
                 self._waiting_fill = (pkt, tag)
         # 3. release CPX packets whose latency elapsed
+        out = self._out
+        if not out or out[0][0] > cycle:
+            return _EMPTY
         ready: list[CpxPacket] = []
-        while self._out and self._out[0][0] <= cycle:
-            ready.append(self._out.popleft()[1])
+        while out and out[0][0] <= cycle:
+            ready.append(out.popleft()[1])
         return ready
 
     def in_flight(self) -> int:
         return len(self._queue) + len(self._out) + (self._waiting_fill is not None)
+
+    def next_active_cycle(self) -> "int | None":
+        """Earliest cycle ``tick`` can do observable work (None: idle).
+
+        A bank waiting on an MCU fill whose data has not arrived sleeps;
+        the machine wakes it when it routes the reply.  Completed packets
+        waiting out their latency wake the bank at the head's ready cycle
+        (the out queue is in ready order: every emit charges the same
+        latency at monotonically increasing cycles).
+        """
+        if self._waiting_fill is not None:
+            nxt = 0 if self._fill_data is not None else None
+        elif self._queue:
+            nxt = 0
+        else:
+            nxt = None
+        if self._out:
+            ready = self._out[0][0]
+            if nxt is None or ready < nxt:
+                nxt = ready
+        return nxt
 
     # ------------------------------------------------------------------
     # Functional operations
@@ -192,6 +219,12 @@ class HighLevelL2Bank:
     ) -> None:
         """Send INVALIDATE packets to every directory core except one."""
         directory = line.directory
+        if not directory or (
+            keep_core >= 0 and directory == 1 << keep_core
+        ):
+            # empty directory, or only the kept core caches the line:
+            # nothing to invalidate (the common store case)
+            return
         core = 0
         while directory:
             if directory & 1 and core != keep_core:
@@ -213,8 +246,9 @@ class HighLevelL2Bank:
     ) -> None:
         set_idx, way = loc
         line = self.state.lines[set_idx][way]
-        word = self.amap.word_in_line(pkt.addr)
-        line_addr = self.amap.line_addr(pkt.addr)
+        addr = pkt.addr
+        word = (addr & 63) >> 3
+        line_addr = addr & ~63
         extra = 0 if not was_miss else 0  # MCU latency already elapsed
         if pkt.ptype is PcxType.LOAD or pkt.ptype is PcxType.IFETCH:
             line.directory |= 1 << pkt.core

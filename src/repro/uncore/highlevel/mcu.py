@@ -64,6 +64,14 @@ class HighLevelMcu:
     def in_flight(self) -> int:
         return len(self._queue)
 
+    def next_active_cycle(self) -> "int | None":
+        """Earliest cycle ``tick`` completes a request (None: idle).
+
+        The queue is FIFO with a fixed access latency, so the head's
+        ready cycle is the earliest observable work.
+        """
+        return self._queue[0][0] if self._queue else None
+
     def snapshot(self) -> dict:
         return {
             "queue": list(self._queue),

@@ -88,6 +88,10 @@ class HighLevelPcieDma:
     def in_flight(self) -> int:
         return len(self.file_words) - self.progress if self.active else 0
 
+    def next_active_cycle(self) -> "int | None":
+        """An armed DMA streams every cycle; otherwise the engine idles."""
+        return 0 if self.active else None
+
     def transfer_window(self) -> tuple[int, int]:
         """(start, finish) cycles of the transfer; finish requires completion."""
         if self.finish_cycle is None:

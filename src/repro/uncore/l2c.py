@@ -227,33 +227,50 @@ class L2cRtl(RtlModule):
         for field, width in _PKT_BITS.items():
             self.reg_array(f"{prefix}_{field}", entries, width)
 
+    def _prefix_regs(self, prefix: str) -> tuple:
+        """Cached (valid, ptype, core, thread, addr, data, reqid)
+        register arrays for a queue prefix -- avoids per-access f-string
+        construction and dict lookups on the co-simulation hot path."""
+        cache = self.__dict__.get("_prefix_reg_cache")
+        if cache is None:
+            cache = self._prefix_reg_cache = {}
+        regs = cache.get(prefix)
+        if regs is None:
+            table = self._registers
+            regs = cache[prefix] = tuple(
+                table[f"{prefix}_{field}"]
+                for field in ("valid", "ptype", "core", "thread", "addr",
+                              "data", "reqid")
+            )
+        return regs
+
     def _entry_read(self, prefix: str, idx: int) -> PcxPacket:
-        regs = self._registers
+        _v, ptype, core, thread, addr, data, reqid = self._prefix_regs(prefix)
         return PcxPacket.unpack_fields(
-            regs[f"{prefix}_ptype"].read(idx),
-            regs[f"{prefix}_core"].read(idx),
-            regs[f"{prefix}_thread"].read(idx),
-            regs[f"{prefix}_addr"].read(idx),
-            regs[f"{prefix}_data"].read(idx),
-            regs[f"{prefix}_reqid"].read(idx),
+            ptype.values[idx],
+            core.values[idx],
+            thread.values[idx],
+            addr.values[idx],
+            data.values[idx],
+            reqid.values[idx],
         )
 
     def _entry_write(self, prefix: str, idx: int, pkt: PcxPacket, valid: int = 1) -> None:
-        regs = self._registers
+        rv, rp, rc, rt, ra, rd, rq = self._prefix_regs(prefix)
         ptype, core, thread, addr, data, reqid = pkt.pack_fields()
-        regs[f"{prefix}_valid"].write(idx, valid)
-        regs[f"{prefix}_ptype"].write(idx, ptype)
-        regs[f"{prefix}_core"].write(idx, core)
-        regs[f"{prefix}_thread"].write(idx, thread)
-        regs[f"{prefix}_addr"].write(idx, addr)
-        regs[f"{prefix}_data"].write(idx, data)
-        regs[f"{prefix}_reqid"].write(idx, reqid)
+        rv.write(idx, valid)
+        rp.write(idx, ptype)
+        rc.write(idx, core)
+        rt.write(idx, thread)
+        ra.write(idx, addr)
+        rd.write(idx, data)
+        rq.write(idx, reqid)
 
     def _entry_invalidate(self, prefix: str, idx: int) -> None:
-        self._registers[f"{prefix}_valid"].write(idx, 0)
+        self._prefix_regs(prefix)[0].write(idx, 0)
 
     def _entry_valid(self, prefix: str, idx: int) -> bool:
-        return bool(self._registers[f"{prefix}_valid"].read(idx))
+        return bool(self._prefix_regs(prefix)[0].values[idx])
 
     # ------------------------------------------------------------------
     # Architected array helpers
@@ -299,13 +316,14 @@ class L2cRtl(RtlModule):
             return False
         tail = self.oq_tail.value % OQ_ENTRIES
         ctype, core, thread, addr, data, reqid = pkt.pack_fields()
-        self._registers["oq_valid"].write(tail, 1)
-        self._registers["oq_ptype"].write(tail, ctype)
-        self._registers["oq_core"].write(tail, core)
-        self._registers["oq_thread"].write(tail, thread)
-        self._registers["oq_addr"].write(tail, addr)
-        self._registers["oq_data"].write(tail, data)
-        self._registers["oq_reqid"].write(tail, reqid)
+        rv, rp, rc, rt, ra, rd, rq = self._prefix_regs("oq")
+        rv.write(tail, 1)
+        rp.write(tail, ctype)
+        rc.write(tail, core)
+        rt.write(tail, thread)
+        ra.write(tail, addr)
+        rd.write(tail, data)
+        rq.write(tail, reqid)
         self.oq_tail.write((self.oq_tail.value + 1) % OQ_ENTRIES)
         self.oq_count.write(self.oq_count.value + 1)
         return True

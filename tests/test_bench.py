@@ -1,0 +1,59 @@
+"""Benchmark harness tests (repro.bench)."""
+
+import json
+
+from repro.bench import BenchSettings, check_against_baseline, run_benches
+from repro.bench.harness import save_bench
+
+
+def _doc(golden_cps, injection_cps=50_000.0):
+    return {
+        "schema_version": 1,
+        "results": {
+            "golden": {"event": {"cycles_per_sec": golden_cps}},
+            "injection": {"event": {"cycles_per_sec": injection_cps}},
+        },
+    }
+
+
+class TestBaselineCheck:
+    def test_passes_within_tolerance(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_doc(100_000.0)))
+        assert check_against_baseline(_doc(80_000.0), base, 0.30) == []
+
+    def test_fails_beyond_tolerance(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_doc(100_000.0)))
+        failures = check_against_baseline(_doc(60_000.0), base, 0.30)
+        assert len(failures) == 1
+        assert "golden" in failures[0]
+
+    def test_missing_scenarios_are_ignored(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_doc(100_000.0)))
+        doc = {"schema_version": 1, "results": {}}
+        assert check_against_baseline(doc, base, 0.30) == []
+
+
+class TestHarness:
+    def test_golden_scenario_produces_speedup_block(self, tmp_path):
+        settings = BenchSettings(
+            repeats=1, scenarios=("golden",), engines=("event", "reference")
+        )
+        doc = run_benches(settings)
+        entry = doc["results"]["golden"]
+        for engine in ("event", "reference"):
+            assert entry[engine]["cycles"] > 0
+            assert entry[engine]["cycles_per_sec"] > 0
+        assert entry["speedup_event_vs_reference"] > 0
+        # the golden scenario reports delta-chain storage statistics
+        stats = entry["event"]["snapshot_storage"]
+        assert stats["checkpoints"] >= 1
+        path = save_bench(doc, tmp_path / "BENCH_step.json")
+        reread = json.loads(path.read_text())
+        assert reread["results"]["golden"]["event"]["cycles"] == (
+            entry["event"]["cycles"]
+        )
+        # the two engines simulate the same number of cycles
+        assert entry["event"]["cycles"] == entry["reference"]["cycles"]

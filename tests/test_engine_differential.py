@@ -1,0 +1,139 @@
+"""Differential tests: event-driven engine vs. the reference stepper.
+
+The event engine's whole contract is *bit-identical observables*: for
+any spec, every RunResult field, every canonical result byte and every
+snapshot must match what the original everything-every-cycle stepper
+produces.  These tests enforce that across all three experiment modes
+and several workloads/seeds.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, Session, dumps_canonical
+from repro.mixedmode.platform import MixedModePlatform
+from repro.system.machine import Machine, MachineConfig
+from repro.workloads import build_workload
+
+CFG = MachineConfig(cores=4, threads_per_core=2, l2_banks=8, l2_sets=16)
+
+#: (benchmark, seed, scale) cells for the differential sweep.
+GOLDEN_CASES = [
+    ("fft", 2015, 1 / 120_000),
+    ("flui", 7, 1 / 120_000),
+    ("radi", 42, 1 / 120_000),
+    ("p-wc", 3, 2e-5),
+]
+
+
+def _machine_pair(benchmark, seed, scale):
+    image = build_workload(
+        benchmark, threads=CFG.total_threads, scale=scale, seed=seed
+    )
+    machines = []
+    for engine in ("reference", "event"):
+        machine = Machine(CFG, engine=engine)
+        machine.load_workload(image)
+        machines.append(machine)
+    return machines
+
+
+def _result_tuple(res):
+    return (res.completed, res.cycles, res.output, res.trap, res.hung, res.retired)
+
+
+class TestGoldenRuns:
+    @pytest.mark.parametrize("bench,seed,scale", GOLDEN_CASES)
+    def test_run_identical(self, bench, seed, scale):
+        ref, evt = _machine_pair(bench, seed, scale)
+        r1, r2 = ref.run(), evt.run()
+        assert _result_tuple(r1) == _result_tuple(r2)
+        assert ref.snapshot() == evt.snapshot()
+
+    def test_run_cycles_and_until_identical(self):
+        ref, evt = _machine_pair("fft", 1, 1 / 120_000)
+        ref.run_cycles(137)
+        evt.run_cycles(137)
+        assert ref.snapshot() == evt.snapshot()
+        ref.run_until_cycle(1009)
+        evt.run_until_cycle(1009)
+        assert ref.cycle == evt.cycle == 1009
+        assert ref.snapshot() == evt.snapshot()
+
+    def test_hang_detection_identical(self):
+        """The event engine's idle hop must fire the watchdog at the
+        exact cycle the reference stepper does."""
+        from repro.core.program import ProgramBuilder
+        from repro.workloads.base import WorkloadImage
+
+        lock = 0x10000
+        b = ProgramBuilder("t")
+        b.ldi(1, lock)
+        b.spin_lock(1, 2)  # never succeeds: initialized to 1
+        b.halt()
+        h = ProgramBuilder("h")
+        h.halt()
+        image = WorkloadImage(
+            name="hang",
+            programs=[b.build(), h.build()],
+            regions=[(0x10000, 0x1000, "globals")],
+            init_words={lock: 1},
+        )
+        results = []
+        for engine in ("reference", "event"):
+            machine = Machine(CFG, engine=engine)
+            machine.load_workload(image)
+            results.append(machine.run(max_cycles=500_000))
+        assert _result_tuple(results[0]) == _result_tuple(results[1])
+        assert results[0].hung
+
+
+class TestCampaignModes:
+    """Full campaign cells must serialize to identical canonical bytes."""
+
+    @pytest.mark.parametrize(
+        "mode,component,bench,seed,n",
+        [
+            ("injection", "l2c", "fft", 2015, 3),
+            ("injection", "mcu", "flui", 9, 3),
+            ("injection", "ccx", "radi", 5, 2),
+            ("qrr", "l2c", "fft", 2015, 2),
+            ("qrr", "mcu", "flui", 4, 2),
+            ("golden", None, "radi", 11, 1),
+        ],
+    )
+    def test_canonical_bytes_identical(self, mode, component, bench, seed, n):
+        spec = ExperimentSpec(
+            benchmark=bench,
+            component=component,
+            mode=mode,
+            machine=CFG,
+            scale=1 / 120_000,
+            seed=seed,
+            n=n,
+        )
+        blobs = [
+            dumps_canonical(Session(engine=engine).run(spec).to_dict())
+            for engine in ("reference", "event")
+        ]
+        assert blobs[0] == blobs[1]
+
+
+class TestGoldenSnapshotChains:
+    def test_every_checkpoint_identical(self):
+        """Delta-chain snapshots (event) == delta-chain snapshots
+        (reference, all-dirty captures) at every checkpoint cycle."""
+        plats = {
+            engine: MixedModePlatform(
+                "fft",
+                machine_config=CFG,
+                scale=1 / 120_000,
+                seed=2015,
+                engine=engine,
+            )
+            for engine in ("reference", "event")
+        }
+        ref, evt = plats["reference"].golden, plats["event"].golden
+        assert list(ref.snapshots) == list(evt.snapshots)
+        assert len(ref.snapshots) > 1, "need at least one delta checkpoint"
+        for cycle in ref.snapshots:
+            assert ref.snapshots[cycle] == evt.snapshots[cycle], cycle

@@ -1,0 +1,122 @@
+"""Sweep-level result caching (repro.api.executor.CachingExecutor)."""
+
+from repro.api import (
+    CachingExecutor,
+    ExperimentSpec,
+    Grid,
+    SerialExecutor,
+    dumps_canonical,
+    make_executor,
+)
+from repro.system.machine import MachineConfig
+
+CFG = MachineConfig(cores=2, threads_per_core=2, l2_banks=8, l2_sets=8)
+
+
+class CountingExecutor:
+    """Serial executor that records how many specs it actually ran."""
+
+    def __init__(self):
+        self.inner = SerialExecutor()
+        self.executed: list[int] = []
+
+    def run(self, specs):
+        self.executed.append(len(specs))
+        return self.inner.run(specs)
+
+
+def _grid_specs():
+    return Grid(
+        components=("l2c", "mcu"),
+        benchmarks=("fft",),
+        seeds=(2015,),
+        mode="injection",
+        n=2,
+        machine=CFG,
+        scale=5e-6,
+    ).specs()
+
+
+def test_second_sweep_runs_zero_cells(tmp_path):
+    specs = _grid_specs()
+    counting = CountingExecutor()
+    executor = CachingExecutor(tmp_path / "cache", counting)
+
+    first = executor.run(specs)
+    assert counting.executed == [len(specs)]
+    assert executor.last_misses == len(specs)
+    assert executor.last_hits == 0
+
+    second = executor.run(specs)
+    # zero re-executions: the inner executor never saw the second batch
+    assert counting.executed == [len(specs)]
+    assert executor.last_misses == 0
+    assert executor.last_hits == len(specs)
+
+    blobs1 = [dumps_canonical(r.to_dict()) for r in first]
+    blobs2 = [dumps_canonical(r.to_dict()) for r in second]
+    assert blobs1 == blobs2
+
+
+def test_partial_hits_only_run_missing_cells(tmp_path):
+    specs = _grid_specs()
+    counting = CountingExecutor()
+    executor = CachingExecutor(tmp_path / "cache", counting)
+    executor.run(specs[:1])
+    assert counting.executed == [1]
+    results = executor.run(specs)
+    assert counting.executed == [1, len(specs) - 1]
+    assert executor.last_hits == 1
+    # results still in spec order
+    for spec, result in zip(specs, results):
+        assert result.spec == spec
+
+
+def test_digest_is_stable_and_spec_sensitive():
+    spec = ExperimentSpec(
+        benchmark="fft", component="l2c", machine=CFG, scale=5e-6, n=2
+    )
+    assert spec.digest() == spec.with_(n=2).digest()
+    assert spec.digest() != spec.with_(n=3).digest()
+    assert spec.digest() != spec.with_(seed=1).digest()
+    assert spec.digest() != spec.with_(component="mcu").digest()
+
+
+def test_tampered_cache_entry_is_a_miss(tmp_path):
+    specs = _grid_specs()[:1]
+    counting = CountingExecutor()
+    executor = CachingExecutor(tmp_path / "cache", counting)
+    (result,) = executor.run(specs)
+    # overwrite the cached file with a result for a DIFFERENT spec
+    other = result.spec.with_(seed=999)
+    path = executor._path_for(specs[0])
+    import json
+
+    data = json.loads(path.read_text())
+    data["spec"]["seed"] = 999
+    path.write_text(dumps_canonical(data))
+    del other
+    executor.run(specs)
+    assert counting.executed == [1, 1]  # re-ran despite the file existing
+
+
+def test_truncated_cache_entry_is_a_miss(tmp_path):
+    """An interrupted write must not poison the cache (it is a miss)."""
+    specs = _grid_specs()[:1]
+    counting = CountingExecutor()
+    executor = CachingExecutor(tmp_path / "cache", counting)
+    executor.run(specs)
+    path = executor._path_for(specs[0])
+    path.write_text(path.read_text()[: 40])  # truncated mid-JSON
+    (result,) = executor.run(specs)
+    assert counting.executed == [1, 1]
+    assert result.spec == specs[0]
+    # and the entry was repaired on disk
+    (again,) = executor.run(specs)
+    assert counting.executed == [1, 1]
+
+
+def test_make_executor_wraps_with_cache(tmp_path):
+    executor = make_executor(workers=1, cache_dir=tmp_path / "c")
+    assert isinstance(executor, CachingExecutor)
+    assert make_executor(workers=1).__class__ is SerialExecutor
