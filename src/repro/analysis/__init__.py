@@ -1,6 +1,7 @@
 """Experiment drivers that regenerate every table and figure of the paper."""
 
 from repro.analysis.tables import (
+    fault_model_comparison,
     table1_highlevel_state,
     table3_inventory,
     table4_targets,
@@ -14,6 +15,7 @@ from repro.analysis.figures import (
 
 __all__ = [
     "CORE_OMM_RATES",
+    "fault_model_comparison",
     "fig3_outcome_rates",
     "fig4_omm_comparison",
     "table1_highlevel_state",

@@ -8,28 +8,17 @@ so drift between the models and the paper is caught by the benches.
 
 from __future__ import annotations
 
-from repro.mem.dram import Dram
+from repro.faults.inventory import build_module
+from repro.faults.models import DEFAULT_FAULT
 from repro.soc.address import AddressMap
 from repro.soc.geometry import HIGHLEVEL_STATE_BYTES, T2_GEOMETRY, UNCORE_TARGETS
-from repro.uncore.ccx import CcxRtl
-from repro.uncore.l2c import L2cRtl
-from repro.uncore.mcu import McuRtl
-from repro.uncore.pcie import PcieRtl
+from repro.system.outcome import OUTCOME_ORDER
 from repro.workloads import ALL_BENCHMARKS, REGISTRY
 
 
 def build_rtl_model(component: str, amap: "AddressMap | None" = None):
     """Instantiate one RTL uncore model (for inventory inspection)."""
-    amap = amap if amap is not None else AddressMap()
-    if component == "l2c":
-        return L2cRtl(0, amap, ways=8, send_mcu=lambda req: None)
-    if component == "mcu":
-        return McuRtl(0, Dram())
-    if component == "ccx":
-        return CcxRtl(amap)
-    if component == "pcie":
-        return PcieRtl(None)
-    raise ValueError(f"unknown component {component!r}")
+    return build_module(component, amap=amap, ways=8)
 
 
 def table1_highlevel_state():
@@ -118,5 +107,35 @@ def table5_benchmarks(measured_cycles: "dict[str, int] | None" = None):
             measured = str(measured_cycles[short])
         rows.append(
             (meta.suite, f"{meta.name} ({short})", f"{meta.paper_cycles:,}", input_str, measured)
+        )
+    return headers, rows
+
+
+def fault_model_comparison(results):
+    """Outcome-vs-fault-model comparison table.
+
+    ``results`` is a list of injection-mode
+    :class:`~repro.api.result.ExperimentResult` cells (typically one
+    benchmark/component under several ``fault`` specs).  One row per
+    cell: the fault spec, the five Fig. 3 outcome rates, the erroneous
+    headline, and how many events the Protection filter masked.
+    """
+    headers = (
+        ["Fault model"]
+        + [o.value for o in OUTCOME_ORDER]
+        + ["erroneous", "masked"]
+    )
+    rows = []
+    for result in results:
+        if result.spec.mode != "injection":
+            raise ValueError(
+                f"fault_model_comparison needs injection cells, got "
+                f"{result.spec.mode!r}"
+            )
+        table = result.outcome_table()
+        rows.append(
+            [result.spec.fault or DEFAULT_FAULT]
+            + [f"{table.rate(o).rate:.2%}" for o in OUTCOME_ORDER]
+            + [str(table.erroneous), str(result.masked_count())]
         )
     return headers, rows

@@ -40,14 +40,23 @@ class Grid:
     n: int = 100
     machine: MachineConfig = field(default_factory=lambda: DEFAULT_MACHINE)
     scale: float = DEFAULT_SCALE
+    #: fault-model spec string, applied to injection cells (see repro.faults)
+    fault: "str | None" = None
 
     def specs(self) -> list[ExperimentSpec]:
         """All valid cells of the grid, in reporting order."""
+        # parse the fault spec once, up front: a malformed spec is a
+        # user error that must propagate, not silently empty the grid
+        fault_model = None
+        if self.fault is not None and self.mode == "injection":
+            from repro.faults.models import parse_fault
+
+            fault_model = parse_fault(self.fault)
         out: list[ExperimentSpec] = []
         # golden cells have no injection target: one spec per benchmark
         components = (None,) if self.mode == "golden" else self.components
         for component in components:
-            if not self._component_valid(component):
+            if not self._component_valid(component, fault_model):
                 continue
             for benchmark in self.benchmarks:
                 if not self._cell_valid(component, benchmark):
@@ -62,15 +71,30 @@ class Grid:
                             scale=self.scale,
                             seed=seed,
                             n=self.n,
+                            fault=(
+                                self.fault
+                                if self.mode == "injection"
+                                else None
+                            ),
                         )
                     )
         return out
 
-    def _component_valid(self, component: "str | None") -> bool:
+    def _component_valid(self, component: "str | None", fault_model) -> bool:
         if self.mode == "qrr":
             return component in QRR_COMPONENTS
         if self.mode == "injection":
-            return component in INJECTION_COMPONENTS
+            if component not in INJECTION_COMPONENTS:
+                return False
+            if fault_model is not None:
+                # drop components the fault model cannot target (e.g.
+                # SRAM faults on SRAM-less components), mirroring the
+                # PCIe input-file cell selection
+                try:
+                    fault_model.validate_component(component)
+                except ValueError:
+                    return False
+            return True
         return True  # golden mode ignores the component
 
     def _cell_valid(self, component: str, benchmark: str) -> bool:

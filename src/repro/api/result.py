@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.api.spec import ExperimentSpec
+from repro.faults.models import DEFAULT_FAULT
 from repro.injection.campaign import OutcomeTable
 from repro.system.outcome import OUTCOME_ORDER, Outcome
 from repro.utils.stats import BinomialEstimate
@@ -43,6 +44,8 @@ class RunRecord:
     propagation_latency: "int | None" = None
     #: required rollback distance (Fig. 9), if memory was corrupted
     rollback_distance: "int | None" = None
+    #: the sampled fault event (repro.faults.FaultEvent dict form)
+    fault: "dict | None" = None
     #: QRR: parity detection fired / application recovered correctly
     detected: "bool | None" = None
     recovered: "bool | None" = None
@@ -69,6 +72,7 @@ class RunRecord:
             ),
             "propagation_latency": self.propagation_latency,
             "rollback_distance": self.rollback_distance,
+            "fault": self.fault,
             "detected": self.detected,
             "recovered": self.recovered,
             "recovery_cycles": list(self.recovery_cycles),
@@ -90,6 +94,7 @@ class RunRecord:
             flip_location=(loc[0], loc[1], loc[2]) if loc else None,
             propagation_latency=data.get("propagation_latency"),
             rollback_distance=data.get("rollback_distance"),
+            fault=data.get("fault"),
             detected=data.get("detected"),
             recovered=data.get("recovered"),
             recovery_cycles=list(data.get("recovery_cycles", ())),
@@ -144,6 +149,12 @@ class ExperimentResult:
     def erroneous(self) -> BinomialEstimate:
         """Probability of a non-Vanished outcome (the paper's headline)."""
         return self.outcome_table().erroneous
+
+    def masked_count(self) -> int:
+        """Events the Protection filter masked (parity/ECC corrected)."""
+        return sum(
+            1 for r in self.records if r.fault and r.fault.get("masked")
+        )
 
     @property
     def detected(self) -> int:
@@ -209,8 +220,10 @@ class ExperimentResult:
             "runs": len(self.records),
         }
         if self.spec.mode == "injection":
+            base["fault"] = self.spec.fault or DEFAULT_FAULT
             base["outcome_counts"] = self.outcome_counts()
             base["persistent"] = self.persistent
+            base["masked"] = self.masked_count()
             table = self.outcome_table()
             if table.total:
                 est = table.erroneous

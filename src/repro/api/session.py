@@ -106,7 +106,7 @@ class Session:
             raise ValueError(f"campaign() needs an injection spec, got {spec.mode!r}")
         platform = self.platform(spec)
         return InjectionCampaign(
-            platform, spec.component, seed=spec.seed
+            platform, spec.component, seed=spec.seed, fault=spec.fault_model()
         ).run(spec.n)
 
     # ------------------------------------------------------------------
@@ -114,9 +114,9 @@ class Session:
     # ------------------------------------------------------------------
     def _run_injection(self, spec: ExperimentSpec) -> ExperimentResult:
         platform = self.platform(spec)
-        raw = InjectionCampaign(platform, spec.component, seed=spec.seed).run(
-            spec.n
-        )
+        raw = InjectionCampaign(
+            platform, spec.component, seed=spec.seed, fault=spec.fault_model()
+        ).run(spec.n)
         records = [
             _record_from_injection(i, run) for i, run in enumerate(raw.runs)
         ]
@@ -199,6 +199,7 @@ def _record_from_injection(index: int, run: InjectionRun) -> RunRecord:
         flip_location=tuple(run.flip_location),
         propagation_latency=run.propagation_latency,
         rollback_distance=run.rollback_distance,
+        fault=run.fault_event.to_dict() if run.fault_event else None,
     )
 
 

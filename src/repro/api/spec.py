@@ -14,6 +14,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field, replace
 
+from repro.faults.models import DEFAULT_FAULT, FaultModel, parse_fault
 from repro.system.machine import MachineConfig
 from repro.workloads import ALL_BENCHMARKS, PCIE_BENCHMARKS
 
@@ -52,6 +53,12 @@ class ExperimentSpec:
         seed: campaign seed; drives workload data generation and
             injection-point sampling.
         n: number of injection runs (ignored for ``golden``).
+        fault: fault-model spec string (``"mbu:k=2"``, ``"stuck"``, ...;
+            see :mod:`repro.faults`).  ``None`` -- and the canonical
+            default ``"seu"`` with default parameters, which normalizes
+            to ``None`` -- is the paper's single-bit flip.  Stored in
+            canonical form so two specs share a digest iff they run the
+            same fault.
     """
 
     benchmark: str = "fft"
@@ -61,49 +68,93 @@ class ExperimentSpec:
     scale: float = DEFAULT_SCALE
     seed: int = 2015
     n: int = 100
+    fault: "str | None" = None
+
+    @staticmethod
+    def _err(field_name: str, message: str) -> None:
+        """Validation failure naming the offending spec field."""
+        raise ValueError(f"ExperimentSpec.{field_name}: {message}")
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
-            raise ValueError(f"unknown mode {self.mode!r}; known: {MODES}")
+            self._err("mode", f"unknown mode {self.mode!r}; known: {MODES}")
         if self.benchmark not in ALL_BENCHMARKS:
-            raise ValueError(
+            self._err(
+                "benchmark",
                 f"unknown benchmark {self.benchmark!r}; "
-                f"known: {sorted(ALL_BENCHMARKS)}"
+                f"known: {sorted(ALL_BENCHMARKS)}",
             )
         if self.mode == "golden":
             # golden runs have no injection target; component == "pcie"
             # survives as "DMA the input file over PCIe"
             if self.component == "pcie":
                 if self.benchmark not in PCIE_BENCHMARKS:
-                    raise ValueError(
+                    self._err(
+                        "component",
                         f"benchmark {self.benchmark!r} has no input file to "
-                        f"DMA over PCIe"
+                        f"DMA over PCIe",
                     )
             elif self.component is not None:
                 object.__setattr__(self, "component", None)
         elif self.mode == "injection":
             if self.component not in INJECTION_COMPONENTS:
-                raise ValueError(
+                self._err(
+                    "component",
                     f"injection component must be one of "
-                    f"{INJECTION_COMPONENTS}, got {self.component!r}"
+                    f"{INJECTION_COMPONENTS}, got {self.component!r}",
                 )
             if (
                 self.component == "pcie"
                 and self.benchmark not in PCIE_BENCHMARKS
             ):
-                raise ValueError(
+                self._err(
+                    "component",
                     f"benchmark {self.benchmark!r} has no input file; PCIe "
-                    f"injections need one of {sorted(PCIE_BENCHMARKS)}"
+                    f"injections need one of {sorted(PCIE_BENCHMARKS)}",
                 )
         elif self.mode == "qrr":
             if self.component not in QRR_COMPONENTS:
-                raise ValueError(
-                    f"QRR protects {QRR_COMPONENTS}, got {self.component!r}"
+                self._err(
+                    "component",
+                    f"QRR protects {QRR_COMPONENTS}, got {self.component!r}",
                 )
+        self._normalize_fault()
         if self.mode != "golden" and self.n < 1:
-            raise ValueError("n must be at least 1")
+            self._err("n", f"must be at least 1, got {self.n}")
         if self.scale <= 0.0:
-            raise ValueError("scale must be positive")
+            self._err("scale", f"must be positive, got {self.scale}")
+
+    def _normalize_fault(self) -> None:
+        """Parse, validate and canonicalize the fault spec string.
+
+        The explicit default (``"seu"`` with default parameters)
+        normalizes to ``None`` so it serializes, digests and caches
+        identically to an unset fault.
+        """
+        if self.fault is None:
+            return
+        try:
+            model = parse_fault(self.fault)
+        except ValueError as exc:
+            self._err("fault", str(exc))
+        if self.mode == "golden":
+            # golden runs inject nothing, like component normalization
+            object.__setattr__(self, "fault", None)
+            return
+        if self.mode == "qrr":
+            self._err(
+                "fault",
+                "QRR campaigns inject parity-covered single-bit flips; "
+                "fault models apply to injection mode only",
+            )
+        try:
+            model.validate_component(self.component)
+        except ValueError as exc:
+            self._err("fault", str(exc))
+        canonical = model.spec_string()
+        object.__setattr__(
+            self, "fault", None if canonical == DEFAULT_FAULT else canonical
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -121,10 +172,17 @@ class ExperimentSpec:
             self.pcie_input,
         )
 
+    def fault_model(self) -> FaultModel:
+        """The fault model this spec selects (default: single-bit flip)."""
+        return parse_fault(self.fault)
+
     def label(self) -> str:
         """Short human-readable cell name for logs and progress output."""
         comp = self.component or "-"
-        return f"{self.mode}:{comp}:{self.benchmark}:seed={self.seed}"
+        label = f"{self.mode}:{comp}:{self.benchmark}:seed={self.seed}"
+        if self.fault is not None:
+            label += f":fault={self.fault}"
+        return label
 
     def digest(self) -> str:
         """Stable content hash of the spec (the result-cache key).
@@ -146,7 +204,7 @@ class ExperimentSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "benchmark": self.benchmark,
             "component": self.component,
             "mode": self.mode,
@@ -155,6 +213,11 @@ class ExperimentSpec:
             "seed": self.seed,
             "n": self.n,
         }
+        # omitted when default so pre-fault spec digests (and cached
+        # sweep results keyed by them) stay valid
+        if self.fault is not None:
+            out["fault"] = self.fault
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
@@ -166,4 +229,5 @@ class ExperimentSpec:
             scale=data.get("scale", DEFAULT_SCALE),
             seed=data.get("seed", 2015),
             n=data.get("n", 100),
+            fault=data.get("fault"),
         )

@@ -10,7 +10,13 @@ trajectory.  See :mod:`repro.bench.harness`.
 from repro.bench.harness import (
     BenchSettings,
     check_against_baseline,
+    fault_overhead_guard,
     run_benches,
 )
 
-__all__ = ["BenchSettings", "check_against_baseline", "run_benches"]
+__all__ = [
+    "BenchSettings",
+    "check_against_baseline",
+    "fault_overhead_guard",
+    "run_benches",
+]

@@ -24,7 +24,9 @@ from __future__ import annotations
 import gc
 import json
 import platform as _platform
+import random
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -249,6 +251,72 @@ def run_benches(
         },
         "python": _platform.python_version(),
         "results": results,
+    }
+
+
+def fault_overhead_guard(
+    settings: "BenchSettings | None" = None, log=lambda line: None
+) -> dict:
+    """Measure the fault-subsystem tax on the default injection path.
+
+    Runs the same campaign cell two ways on one shared platform -- a
+    frozen replica of the pre-subsystem inline path (the sampling
+    arithmetic below is copied verbatim from the seed's
+    ``sample_injection_point`` so the baseline cannot silently absorb
+    subsystem costs, plus ``run_injection(component, cycle, bit)``) and
+    :class:`~repro.injection.campaign.InjectionCampaign`'s default
+    :class:`~repro.faults.models.SingleBitFlip` model -- and reports the
+    relative overhead.  Both paths execute bit-identical simulation
+    work, so the ratio isolates the subsystem's dispatch cost; the
+    runs interleave (best-of) to cancel host drift.  CI gates this at
+    5% (``repro bench --fault-guard``).
+    """
+    from repro.injection.campaign import InjectionCampaign
+    from repro.soc.geometry import T2_GEOMETRY
+
+    settings = settings if settings is not None else BenchSettings.tiny()
+    plat = _campaign_platform("event")
+    component = "l2c"
+    nbits = T2_GEOMETRY[component].target_ffs
+
+    def inline():
+        rng = random.Random(
+            (BENCH_SEED << 16) ^ (zlib.crc32(component.encode()) & 0xFFFF)
+        )
+        for _ in range(settings.injections):
+            # the seed's inline sampler, frozen (l2c branch)
+            cycle = rng.randrange(1, max(2, plat.golden.cycles - 1))
+            instance = rng.randrange(plat.machine_config.l2_banks)
+            bit = rng.randrange(nbits)
+            plat.run_injection(component, cycle, bit, instance=instance, rng=rng)
+
+    def modeled():
+        InjectionCampaign(plat, component, seed=BENCH_SEED).run(
+            settings.injections
+        )
+
+    # more repeats than the throughput benches: the gate is tight (5%),
+    # so the best-of sample needs to beat host scheduling noise
+    repeats = max(5, settings.repeats)
+    best_inline = best_model = None
+    for _ in range(repeats):
+        seconds, _ = _timed(inline, 1)
+        if best_inline is None or seconds < best_inline:
+            best_inline = seconds
+        seconds, _ = _timed(modeled, 1)
+        if best_model is None or seconds < best_model:
+            best_model = seconds
+    overhead = best_model / best_inline - 1.0
+    log(
+        f"fault guard: inline {best_inline * 1e3:.1f}ms vs model "
+        f"{best_model * 1e3:.1f}ms over {settings.injections} runs "
+        f"({overhead:+.1%})"
+    )
+    return {
+        "inline_seconds": round(best_inline, 6),
+        "model_seconds": round(best_model, 6),
+        "runs": settings.injections,
+        "overhead": round(overhead, 4),
     }
 
 

@@ -9,10 +9,13 @@ result.
 Usage::
 
     python -m repro.cli campaign --component l2c --benchmark fft --n 200
+    python -m repro.cli campaign --fault mbu:k=2 --n 100
     python -m repro.cli qrr --component mcu --n 50 --json -
     python -m repro.cli sweep --n 20 --workers 4 --json out.json
     python -m repro.cli sweep --n 20 --cache-dir .sweep-cache
+    python -m repro.cli faults list
     python -m repro.cli bench --tiny --json BENCH_step.json
+    python -m repro.cli bench --fault-guard
     python -m repro.cli tables
     python -m repro.cli run --benchmark p-wc
 """
@@ -39,6 +42,7 @@ from repro.api import (
     dumps_canonical,
     make_executor,
 )
+from repro.faults.models import DEFAULT_FAULT
 from repro.system.machine import MachineConfig
 from repro.system.outcome import OUTCOME_ORDER
 from repro.utils.render import render_table
@@ -69,6 +73,7 @@ def _spec(args, mode: str, component: "str | None" = None) -> ExperimentSpec:
             scale=args.scale,
             seed=args.seed,
             n=getattr(args, "n", 1),
+            fault=getattr(args, "fault", None),
         )
     except ValueError as exc:
         raise _UserError(str(exc)) from exc
@@ -105,15 +110,32 @@ def cmd_run(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    result = Session().run(_spec(args, "injection", component=args.component))
+    spec = _spec(args, "injection", component=args.component)
+    result = Session().run(spec)
     if args.json:
         _emit_json(result, args.json)
         return 0
     table = result.outcome_table()
     headers = ["benchmark"] + [o.value for o in OUTCOME_ORDER] + ["erroneous"]
     row = table.row() + [str(table.erroneous)]
-    print(render_table(headers, [row], title=f"{args.component.upper()} campaign"))
+    title = f"{args.component.upper()} campaign (fault: {spec.fault or DEFAULT_FAULT})"
+    print(render_table(headers, [row], title=title))
     print(f"persistent runs (excluded from rates): {table.persistent}")
+    masked = result.masked_count()
+    if masked:
+        print(f"events masked by parity/ECC protection: {masked}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.faults import fault_table
+
+    headers, rows = fault_table()
+    print(render_table(headers, rows, title="Fault models"))
+    print(
+        "spec syntax: NAME[:key=value,...] -- e.g. "
+        "repro campaign --fault mbu:k=2"
+    )
     return 0
 
 
@@ -132,6 +154,8 @@ def cmd_qrr(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    if args.fault and args.mode != "injection":
+        raise _UserError("--fault applies to injection sweeps only")
     grid = Grid(
         components=tuple(args.components),
         benchmarks=tuple(args.benchmarks),
@@ -140,6 +164,7 @@ def cmd_sweep(args) -> int:
         n=args.n,
         machine=_machine_config(args),
         scale=args.scale,
+        fault=args.fault,
     )
     try:
         specs = grid.specs()
@@ -176,6 +201,7 @@ def cmd_sweep(args) -> int:
                 "n": grid.n,
                 "machine": grid.machine.to_dict(),
                 "scale": grid.scale,
+                "fault": grid.fault,
             },
             "results": [r.to_dict() for r in results],
         }
@@ -234,9 +260,24 @@ def _print_sweep_tables(results: list[ExperimentResult]) -> None:
 
 def cmd_bench(args) -> int:
     from repro.bench import BenchSettings, check_against_baseline, run_benches
-    from repro.bench.harness import save_bench
+    from repro.bench.harness import fault_overhead_guard, save_bench
 
     settings = BenchSettings.tiny() if args.tiny else BenchSettings()
+    if args.fault_guard:
+        guard = fault_overhead_guard(settings, log=print)
+        if guard["overhead"] > args.fault_tolerance:
+            print(
+                f"fault-subsystem overhead guard: default SingleBitFlip "
+                f"path is {guard['overhead']:+.1%} vs the inline path "
+                f"(limit {args.fault_tolerance:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"fault-subsystem overhead guard: {guard['overhead']:+.1%} "
+            f"(limit {args.fault_tolerance:.0%}): ok"
+        )
+        return 0
     if args.scenarios:
         settings = dataclasses.replace(
             settings, scenarios=tuple(args.scenarios)
@@ -298,13 +339,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pcie", action="store_true", help="DMA the input file")
     p.set_defaults(func=cmd_run)
 
+    def fault_flag(p):
+        p.add_argument(
+            "--fault", default=None, metavar="SPEC",
+            help="fault-model spec string, e.g. 'mbu:k=2' or "
+                 "'stuck:value=0' (see 'repro faults list'; "
+                 "default: the paper's single-bit flip)",
+        )
+
     p = sub.add_parser("campaign", help="run an injection campaign cell")
     common(p)
     p.add_argument("--component", default="l2c",
                    choices=["l2c", "mcu", "ccx", "pcie"])
     p.add_argument("--n", type=int, default=100)
+    fault_flag(p)
     json_flag(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("faults", help="describe the available fault models")
+    p.add_argument("action", nargs="?", default="list", choices=["list"])
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("qrr", help="run a QRR effectiveness campaign")
     common(p)
@@ -338,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="skip cells whose (spec-digest -> result) JSON "
                         "already exists under DIR; misses are written back")
+    fault_flag(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -354,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail (exit 1) if event-engine cycles/sec regresses "
                         "more than --tolerance below this baseline JSON")
     p.add_argument("--tolerance", type=float, default=0.30)
+    p.add_argument("--fault-guard", action="store_true",
+                   help="only run the fault-subsystem overhead guard: "
+                        "time the default SingleBitFlip campaign path "
+                        "against the inline run_injection path and fail "
+                        "(exit 1) beyond --fault-tolerance")
+    p.add_argument("--fault-tolerance", type=float, default=0.05)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("tables", help="print the inventory tables")

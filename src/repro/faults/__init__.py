@@ -1,0 +1,64 @@
+"""Pluggable fault models -- *what* gets corrupted, *where*, and *when*.
+
+The subsystem owns everything between "run an injection campaign" and
+"a specific bit changed": injection-window sampling
+(:mod:`repro.faults.windows`), target filtering and parity/ECC masking
+(:mod:`repro.faults.targets`), sampling prototypes
+(:mod:`repro.faults.inventory`), the serializable
+:class:`~repro.faults.event.FaultEvent` record, and the concrete
+:class:`~repro.faults.models.FaultModel` implementations.
+
+Campaigns select a model through a compact spec string::
+
+    from repro.api import ExperimentSpec, Session
+
+    spec = ExperimentSpec(benchmark="fft", component="l2c",
+                          fault="mbu:k=2", n=50)
+    result = Session().run(spec)
+
+Leaving ``fault`` unset (or ``"seu"``) keeps the paper's single-bit
+TARGET-flip-flop model, bit-identical to the pre-subsystem behaviour.
+"""
+
+from repro.faults.event import FaultEvent
+from repro.faults.inventory import SRAM_COMPONENTS, build_module, prototype_module
+from repro.faults.models import (
+    DEFAULT_FAULT,
+    FAULT_MODELS,
+    FaultModel,
+    IntermittentFlip,
+    LiveFault,
+    MultiBitUpset,
+    SingleBitFlip,
+    SramFault,
+    StuckAt,
+    fault_table,
+    parse_fault,
+)
+from repro.faults.targets import Protection, TargetFilter, candidate_bits, candidate_rows
+from repro.faults.windows import InjectionWindow, injection_window, sample_point
+
+__all__ = [
+    "DEFAULT_FAULT",
+    "FAULT_MODELS",
+    "FaultEvent",
+    "FaultModel",
+    "InjectionWindow",
+    "IntermittentFlip",
+    "LiveFault",
+    "MultiBitUpset",
+    "Protection",
+    "SRAM_COMPONENTS",
+    "SingleBitFlip",
+    "SramFault",
+    "StuckAt",
+    "TargetFilter",
+    "build_module",
+    "candidate_bits",
+    "candidate_rows",
+    "fault_table",
+    "injection_window",
+    "parse_fault",
+    "prototype_module",
+    "sample_point",
+]

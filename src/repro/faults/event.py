@@ -1,0 +1,69 @@
+"""The serializable record of one sampled fault.
+
+A :class:`FaultEvent` names everything a fault model decided for one
+injection run: which component instance, at which cycle, which storage
+locations, and the model parameters that shaped the event (stuck value,
+re-flip period, ...).  Events round-trip losslessly through plain
+dicts/JSON, so campaign records can carry them into the canonical
+result schema and back.
+
+Location convention: ``(storage, entry, bit)`` where ``storage`` is the
+register/array name, or ``"sram:<name>"`` for SRAM rows (matching the
+snapshot key convention of :class:`repro.rtl.module.RtlModule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultEvent:
+    """One fully-sampled fault occurrence.
+
+    Attributes:
+        model: canonical fault-model name (``seu``, ``mbu``, ...).
+        component: uncore component the fault lands in.
+        instance: component instance index.
+        cycle: requested injection cycle (the actual flip happens after
+            quiescing and warm-up, like every injection run).
+        locations: ``(storage, entry, bit)`` tuples the model corrupts;
+            empty until resolved for models that defer location choice
+            to apply time (the default single-bit flip keeps the global
+            target-bit index in ``params`` instead).
+        params: model parameters relevant to this event (JSON-safe).
+        masked: the Protection filter reclassified this event -- the
+            storage's parity/ECC corrects it, so nothing is applied and
+            the run trivially vanishes.
+    """
+
+    model: str
+    component: str
+    instance: int = 0
+    cycle: int = 0
+    locations: list = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+    masked: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "component": self.component,
+            "instance": self.instance,
+            "cycle": self.cycle,
+            "locations": [list(loc) for loc in self.locations],
+            "params": dict(self.params),
+            "masked": self.masked,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            model=data["model"],
+            component=data["component"],
+            instance=data.get("instance", 0),
+            cycle=data.get("cycle", 0),
+            locations=[tuple(loc) for loc in data.get("locations", ())],
+            params=dict(data.get("params", {})),
+            masked=data.get("masked", False),
+        )

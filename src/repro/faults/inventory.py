@@ -1,0 +1,111 @@
+"""Prototype RTL modules for fault sampling.
+
+Fault models choose *where* to corrupt before the RTL target exists
+(the co-simulation adapter builds it at attach time), so they consult a
+**prototype**: a throwaway RTL instance with the same storage inventory
+as the module the adapter will build.  Flip-flop inventories are
+geometry-independent (padded to the Table 3/4 totals), but SRAM row
+counts scale with the cache geometry, so per-platform prototypes are
+built from the platform's own address map and way count, and cached on
+the platform.
+"""
+
+from __future__ import annotations
+
+from repro.faults.targets import TargetFilter, candidate_bits, candidate_rows
+from repro.mem.dram import Dram
+from repro.soc.address import AddressMap
+from repro.uncore.ccx import CcxRtl
+from repro.uncore.l2c import L2cRtl
+from repro.uncore.mcu import McuRtl
+from repro.uncore.pcie import PcieRtl
+
+#: Components whose RTL models declare SRAM arrays (SramFault targets).
+SRAM_COMPONENTS: tuple[str, ...] = ("l2c", "pcie")
+
+#: Default-geometry prototypes for spec-time validation (flip-flop
+#: inventories and storage names are geometry-independent, so these are
+#: safe to share process-wide).
+_DEFAULT_MODULES: dict = {}
+
+
+def build_module(
+    component: str, amap: "AddressMap | None" = None, ways: int = 8
+):
+    """Instantiate one standalone RTL uncore model (inventory probing)."""
+    amap = amap if amap is not None else AddressMap()
+    if component == "l2c":
+        return L2cRtl(0, amap, ways=ways, send_mcu=lambda req: None)
+    if component == "mcu":
+        return McuRtl(0, Dram())
+    if component == "ccx":
+        return CcxRtl(amap)
+    if component == "pcie":
+        return PcieRtl(None)
+    raise ValueError(f"unknown uncore component {component!r}")
+
+
+def default_module(component: str):
+    """A (cached) default-geometry module for spec-time validation."""
+    module = _DEFAULT_MODULES.get(component)
+    if module is None:
+        module = _DEFAULT_MODULES[component] = build_module(component)
+    return module
+
+
+def prototype_module(platform, component: str):
+    """The (cached) sampling prototype for a platform's component.
+
+    Matches the inventory of the module
+    :func:`repro.mixedmode.adapters.make_adapter` will build on this
+    platform, including geometry-dependent SRAM sizes.
+    """
+    cache = getattr(platform, "_fault_prototypes", None)
+    if cache is None:
+        cache = {}
+        platform._fault_prototypes = cache
+    module = cache.get(component)
+    if module is None:
+        module = build_module(
+            component,
+            amap=platform.machine.amap,
+            ways=platform.machine_config.l2_ways,
+        )
+        cache[component] = module
+    return module
+
+
+def _candidate_cache(platform) -> dict:
+    cache = getattr(platform, "_fault_candidates", None)
+    if cache is None:
+        cache = {}
+        platform._fault_candidates = cache
+    return cache
+
+
+def cached_bits(platform, component: str, filt: TargetFilter) -> list:
+    """Per-platform memoized :func:`candidate_bits` of the prototype.
+
+    The filter and inventory are fixed for a whole campaign, so the
+    enumeration (thousands of tuples) happens once, not per sample.
+    """
+    cache = _candidate_cache(platform)
+    key = ("ff", component, filt)
+    bits = cache.get(key)
+    if bits is None:
+        bits = cache[key] = candidate_bits(
+            prototype_module(platform, component), filt
+        )
+    return bits
+
+
+def cached_rows(platform, component: str, filt: TargetFilter) -> list:
+    """Per-platform memoized :func:`candidate_rows` of the prototype."""
+    cache = _candidate_cache(platform)
+    key = ("sram", component, filt)
+    rows = cache.get(key)
+    if rows is None:
+        rows = cache[key] = candidate_rows(
+            prototype_module(platform, component), filt
+        )
+    return rows

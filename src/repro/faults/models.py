@@ -1,0 +1,553 @@
+"""The pluggable fault models (what gets corrupted, where, and when).
+
+A :class:`FaultModel` owns one perturbation family end-to-end:
+
+* ``sample(platform, component, rng)`` draws a concrete
+  :class:`~repro.faults.event.FaultEvent` from the component's injection
+  window and target space,
+* ``apply(adapter, event)`` performs the corruption on the attached RTL
+  target (a no-op for events the Protection filter masked),
+* ``live(event, inject_cycle)`` optionally returns a :class:`LiveFault`
+  the platform re-fires during co-simulation -- the per-cycle hook
+  stuck-at and intermittent faults need.  Live faults expose
+  ``next_active_cycle()`` in the spirit of the event engine's
+  active-set scheduler, so the platform batches simulation up to the
+  next due assertion instead of single-stepping.
+
+Models are named and parameterized through compact spec strings
+(``"mbu:k=3"``, ``"stuck:value=0"``); :func:`parse_fault` is the single
+parser, and :meth:`FaultModel.spec_string` emits the canonical form
+(sorted non-default parameters) that experiment specs and digests use.
+
+The default :class:`SingleBitFlip` reproduces the pre-subsystem
+behaviour bit-identically: it consumes the campaign RNG in the exact
+sequence of the old inline sampler and injects through the same
+``flip_target_bit`` path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.event import FaultEvent
+from repro.faults.inventory import (
+    SRAM_COMPONENTS,
+    cached_bits,
+    cached_rows,
+    default_module,
+    prototype_module,
+)
+from repro.faults.targets import (
+    FF_CLASS_NAMES,
+    Protection,
+    TargetFilter,
+    candidate_bits,
+    candidate_rows,
+)
+from repro.faults.windows import injection_window, sample_point
+from repro.soc.geometry import T2_GEOMETRY
+
+
+def _int_param(raw: str) -> int:
+    return int(raw, 0)
+
+
+def _str_param(raw: str) -> str:
+    return raw
+
+
+class FaultModel:
+    """Base class: parameter plumbing shared by every model."""
+
+    #: canonical model name (the spec-string prefix)
+    name = "?"
+    #: one-line description for ``repro faults list``
+    describe = ""
+    #: human-readable target-space summary for ``repro faults list``
+    targets = ""
+    #: declared parameters: name -> (converter, default)
+    PARAMS: dict = {}
+
+    def __init__(self, **params) -> None:
+        for key in params:
+            if key not in self.PARAMS:
+                raise ValueError(
+                    f"fault model {self.name!r} has no parameter {key!r}; "
+                    f"known: {sorted(self.PARAMS)}"
+                )
+        for key, (conv, default) in self.PARAMS.items():
+            raw = params.get(key, default)
+            if isinstance(raw, str) and conv is not _str_param:
+                try:
+                    raw = conv(raw)
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"fault model {self.name!r}: bad value for "
+                        f"parameter {key!r}: {exc}"
+                    ) from exc
+            setattr(self, key, raw)
+        self._validate_params()
+
+    def _validate_params(self) -> None:
+        """Model-specific parameter checks (raise ``ValueError``)."""
+
+    # ------------------------------------------------------------------
+    def params_dict(self, all_params: bool = False) -> dict:
+        """Current parameters; non-default only unless ``all_params``."""
+        out = {}
+        for key, (_conv, default) in self.PARAMS.items():
+            value = getattr(self, key)
+            if all_params or value != default:
+                out[key] = value
+        return out
+
+    def spec_string(self) -> str:
+        """Canonical spec string (sorted non-default parameters)."""
+        params = self.params_dict()
+        if not params:
+            return self.name
+        body = ",".join(f"{k}={params[k]}" for k in sorted(params))
+        return f"{self.name}:{body}"
+
+    def validate_component(self, component: str) -> None:
+        """Reject components this model cannot target."""
+
+    # ------------------------------------------------------------------
+    def sample(
+        self, platform, component: str, rng: random.Random
+    ) -> FaultEvent:
+        raise NotImplementedError
+
+    def apply(self, adapter, event: FaultEvent) -> tuple[str, int, int]:
+        """Corrupt the attached target; returns the primary location."""
+        raise NotImplementedError
+
+    def live(self, event: FaultEvent, inject_cycle: int):
+        """Per-cycle re-assertion hook, or ``None`` for one-shot faults."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.__class__.__name__}({self.spec_string()!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FaultModel)
+            and self.spec_string() == other.spec_string()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.spec_string())
+
+
+class LiveFault:
+    """A fault that stays active during co-simulation.
+
+    The platform consults :meth:`next_active_cycle` (mirroring the
+    event engine's component protocol) and calls :meth:`fire` when the
+    machine reaches that cycle; ``None`` means the fault is released
+    and the platform can batch-step freely again.
+    """
+
+    def next_active_cycle(self) -> "int | None":
+        raise NotImplementedError
+
+    def fire(self, adapter, cycle: int) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# anchored-sampling helpers (every model except the default SEU)
+# ----------------------------------------------------------------------
+def _check_classes_param(model) -> None:
+    known = FF_CLASS_NAMES + ("any",)
+    if model.classes not in known:
+        raise ValueError(
+            f"fault model {model.name!r}: classes must be one of "
+            f"{known}, got {model.classes!r}"
+        )
+
+
+class _AnchoredModel(FaultModel):
+    """Shared plumbing for models that pick an explicit flip-flop
+    location (everything except the index-sampled default SEU)."""
+
+    def _anchor_filter(self) -> TargetFilter:
+        return TargetFilter(
+            classes=("any",) if self.classes == "any" else (self.classes,),
+            name_glob=self.reg or None,
+        )
+
+    def validate_component(self, component: str) -> None:
+        """Catch empty target filters at spec time, before the golden
+        run is paid for (flip-flop inventories are geometry-independent,
+        so the default-geometry prototype is authoritative)."""
+        if not candidate_bits(default_module(component), self._anchor_filter()):
+            raise ValueError(
+                f"fault model {self.name!r}: no {component} flip-flops "
+                f"match classes={self.classes!r} reg={self.reg or '*'!r}"
+            )
+
+    def _sample_anchor(self, platform, component, rng) -> tuple[str, int, int]:
+        cands = cached_bits(platform, component, self._anchor_filter())
+        if not cands:
+            raise ValueError(
+                f"fault model {self.name!r}: no {component} flip-flops "
+                f"match classes={self.classes!r} reg={self.reg or '*'!r}"
+            )
+        return cands[rng.randrange(len(cands))]
+
+    def _event_params(self) -> dict:
+        """The model parameters recorded on each sampled event."""
+        raise NotImplementedError
+
+    def _locations_from_anchor(self, module, anchor) -> list:
+        """Expand the anchor into the corrupted locations (default: 1)."""
+        return [anchor]
+
+    def sample(self, platform, component, rng) -> FaultEvent:
+        window = injection_window(platform, component)
+        cycle, instance = sample_point(window, rng)
+        anchor = self._sample_anchor(platform, component, rng)
+        module = prototype_module(platform, component)
+        locations = self._locations_from_anchor(module, anchor)
+        event = FaultEvent(
+            self.name, component, instance, cycle,
+            locations=locations, params=self._event_params(),
+        )
+        event.masked = Protection().masks(module, locations)
+        return event
+
+
+# ----------------------------------------------------------------------
+# concrete models
+# ----------------------------------------------------------------------
+class SingleBitFlip(FaultModel):
+    """One transient bit flip in a TARGET-class flip-flop (the paper's
+    SEU model and the campaign default)."""
+
+    name = "seu"
+    describe = "single transient bit flip (paper default)"
+    targets = "TARGET flip-flops"
+    PARAMS: dict = {}
+
+    def sample(self, platform, component, rng) -> FaultEvent:
+        window = injection_window(platform, component)
+        cycle, instance = sample_point(window, rng)
+        bit = rng.randrange(T2_GEOMETRY[component].target_ffs)
+        return FaultEvent(
+            self.name, component, instance, cycle, params={"bit": bit}
+        )
+
+    def apply(self, adapter, event) -> tuple[str, int, int]:
+        loc = adapter.flip(event.params["bit"])
+        event.locations = [loc]
+        return loc
+
+
+class MultiBitUpset(_AnchoredModel):
+    """A spatially adjacent k-bit burst within one register entry or
+    SRAM-adjacent word (a charge-sharing multi-bit upset)."""
+
+    name = "mbu"
+    describe = "k adjacent bits flip within one register entry"
+    targets = "flip-flops (classes= filter; reg= glob)"
+    PARAMS = {
+        "k": (_int_param, 2),
+        "classes": (_str_param, "target"),
+        "reg": (_str_param, ""),
+    }
+
+    def _validate_params(self) -> None:
+        if self.k < 1:
+            raise ValueError(
+                f"fault model {self.name!r}: k must be at least 1"
+            )
+        _check_classes_param(self)
+
+    def _event_params(self) -> dict:
+        return {"k": self.k}
+
+    def _locations_from_anchor(self, module, anchor) -> list:
+        name, entry, bit = anchor
+        width = module.registers()[name].width
+        return [
+            (name, entry, (bit + i) % width) for i in range(min(self.k, width))
+        ]
+
+    def apply(self, adapter, event) -> tuple[str, int, int]:
+        if not event.masked:
+            for name, entry, bit in event.locations:
+                adapter.flip_at(name, entry, bit)
+        return event.locations[0]
+
+
+class StuckAt(_AnchoredModel):
+    """A flip-flop output forced to 0/1 and re-asserted every cycle
+    until released after ``hold`` cycles (0 holds for the whole
+    co-simulation window, which can never vanish or hand over and so
+    always ends persistent at the cap)."""
+
+    name = "stuck"
+    describe = "bit forced to 0/1, re-asserted each cycle until released"
+    targets = "flip-flops (classes= filter; reg= glob)"
+    PARAMS = {
+        "value": (_int_param, 1),
+        "hold": (_int_param, 400),
+        "classes": (_str_param, "target"),
+        "reg": (_str_param, ""),
+    }
+
+    def _validate_params(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(
+                f"fault model {self.name!r}: value must be 0 or 1"
+            )
+        if self.hold < 0:
+            raise ValueError(
+                f"fault model {self.name!r}: hold must be non-negative"
+            )
+        _check_classes_param(self)
+
+    def _event_params(self) -> dict:
+        return {"value": self.value, "hold": self.hold}
+
+    def apply(self, adapter, event) -> tuple[str, int, int]:
+        loc = event.locations[0]
+        if not event.masked:
+            adapter.force_at(*loc, self.value)
+        return loc
+
+    def live(self, event, inject_cycle):
+        if event.masked:
+            return None
+        release = inject_cycle + self.hold if self.hold else None
+        return StuckAtLive(event.locations[0], self.value, inject_cycle, release)
+
+
+class StuckAtLive(LiveFault):
+    """Re-asserts a stuck bit every cycle until the release cycle."""
+
+    def __init__(self, loc, value: int, inject_cycle: int,
+                 release: "int | None") -> None:
+        self.loc = loc
+        self.value = value
+        self.release = release
+        self._next = inject_cycle + 1
+
+    def next_active_cycle(self) -> "int | None":
+        if self.release is not None and self._next > self.release:
+            return None
+        return self._next
+
+    def fire(self, adapter, cycle: int) -> None:
+        adapter.force_at(*self.loc, self.value)
+        self._next = cycle + 1
+
+
+class IntermittentFlip(_AnchoredModel):
+    """A marginal flip-flop that keeps flipping on a duty cycle: the bit
+    toggles at injection and re-toggles every ``period`` cycles until
+    the ``window`` closes."""
+
+    name = "flicker"
+    describe = "bit re-flips every period cycles over a window"
+    targets = "flip-flops (classes= filter; reg= glob)"
+    PARAMS = {
+        "period": (_int_param, 50),
+        "window": (_int_param, 2_000),
+        "classes": (_str_param, "target"),
+        "reg": (_str_param, ""),
+    }
+
+    def _validate_params(self) -> None:
+        if self.period < 1:
+            raise ValueError(
+                f"fault model {self.name!r}: period must be at least 1"
+            )
+        if self.window < self.period:
+            raise ValueError(
+                f"fault model {self.name!r}: window must cover at least "
+                f"one period"
+            )
+        _check_classes_param(self)
+
+    def _event_params(self) -> dict:
+        return {"period": self.period, "window": self.window}
+
+    def apply(self, adapter, event) -> tuple[str, int, int]:
+        loc = event.locations[0]
+        if not event.masked:
+            adapter.flip_at(*loc)
+        return loc
+
+    def live(self, event, inject_cycle):
+        if event.masked:
+            return None
+        return IntermittentLive(
+            event.locations[0], inject_cycle, self.period, self.window
+        )
+
+
+class IntermittentLive(LiveFault):
+    """Re-flips the bit on the duty cycle until the window closes."""
+
+    def __init__(self, loc, inject_cycle: int, period: int, window: int):
+        self.loc = loc
+        self.period = period
+        self.until = inject_cycle + window
+        self._next = inject_cycle + period
+
+    def next_active_cycle(self) -> "int | None":
+        return self._next if self._next <= self.until else None
+
+    def fire(self, adapter, cycle: int) -> None:
+        adapter.flip_at(*self.loc)
+        self._next = cycle + self.period
+
+
+class SramFault(FaultModel):
+    """A k-bit burst inside one SRAM row (tag/state/data/directory
+    arrays, PCIe transfer buffers) -- storage the single-bit campaign
+    never touches.  SRAMs are ECC-protected, so the default is a
+    double-bit burst (SECDED corrects one bit; ``k=1`` events are
+    masked unless ``ecc=off``)."""
+
+    name = "sram"
+    describe = "k-bit burst in one SRAM row (k=1 is ECC-masked)"
+    targets = "SRAM arrays (l2c, pcie; sram= glob, rows= lo-hi)"
+    PARAMS = {
+        "k": (_int_param, 2),
+        "sram": (_str_param, ""),
+        "rows": (_str_param, ""),
+        "ecc": (_str_param, "on"),
+    }
+
+    def _validate_params(self) -> None:
+        if self.k < 1:
+            raise ValueError(
+                f"fault model {self.name!r}: k must be at least 1"
+            )
+        if self.ecc not in ("on", "off"):
+            raise ValueError(
+                f"fault model {self.name!r}: ecc must be 'on' or 'off'"
+            )
+        self._row_range = None
+        if self.rows:
+            lo, sep, hi = self.rows.partition("-")
+            try:
+                self._row_range = (int(lo), int(hi) if sep else int(lo))
+            except ValueError as exc:
+                raise ValueError(
+                    f"fault model {self.name!r}: rows must be 'lo-hi', "
+                    f"got {self.rows!r}"
+                ) from exc
+
+    def _row_filter(self) -> TargetFilter:
+        return TargetFilter(
+            kind="sram",
+            name_glob=self.sram or None,
+            entry_range=self._row_range,
+        )
+
+    def validate_component(self, component: str) -> None:
+        if component not in SRAM_COMPONENTS:
+            raise ValueError(
+                f"fault model {self.name!r} targets SRAM arrays; component "
+                f"{component!r} has none (choose one of {SRAM_COMPONENTS})"
+            )
+        # catch an unmatched sram= glob at spec time (SRAM names are
+        # geometry-independent; row counts are not, so a rows= range is
+        # checked against the campaign prototype at sample time instead)
+        name_only = TargetFilter(kind="sram", name_glob=self.sram or None)
+        if not candidate_rows(default_module(component), name_only):
+            raise ValueError(
+                f"fault model {self.name!r}: no {component} SRAM matches "
+                f"sram={self.sram or '*'!r}"
+            )
+
+    def sample(self, platform, component, rng) -> FaultEvent:
+        # component/glob validity was checked at spec time; the empty-
+        # candidate error below covers direct callers
+        window = injection_window(platform, component)
+        cycle, instance = sample_point(window, rng)
+        module = prototype_module(platform, component)
+        rows = cached_rows(platform, component, self._row_filter())
+        if not rows:
+            raise ValueError(
+                f"fault model {self.name!r}: no {component} SRAM rows match "
+                f"sram={self.sram or '*'!r} rows={self.rows or 'all'!r}"
+            )
+        name, row = rows[rng.randrange(len(rows))]
+        width = module.srams()[name].width
+        bit = rng.randrange(width)
+        locations = [
+            ("sram:" + name, row, (bit + i) % width)
+            for i in range(min(self.k, width))
+        ]
+        event = FaultEvent(
+            self.name, component, instance, cycle,
+            locations=locations, params={"k": self.k},
+        )
+        if self.ecc == "on":
+            event.masked = Protection().masks(module, locations)
+        return event
+
+    def apply(self, adapter, event) -> tuple[str, int, int]:
+        if not event.masked:
+            for storage, row, bit in event.locations:
+                adapter.flip_sram(storage.partition(":")[2], row, bit)
+        return event.locations[0]
+
+
+#: Registry of spec-string names to model classes.
+FAULT_MODELS: dict[str, type] = {
+    cls.name: cls
+    for cls in (SingleBitFlip, MultiBitUpset, StuckAt, IntermittentFlip,
+                SramFault)
+}
+
+#: The model used when an experiment spec leaves ``fault`` unset.
+DEFAULT_FAULT = SingleBitFlip.name
+
+
+def parse_fault(spec: "str | None") -> FaultModel:
+    """Build a fault model from a spec string (``None`` -> the default).
+
+    Syntax: ``name[:key=value,key=value,...]``, e.g. ``"mbu:k=3"`` or
+    ``"stuck:value=0,reg=iq_*"``.
+    """
+    if spec is None or spec == "":
+        return SingleBitFlip()
+    name, _sep, body = spec.partition(":")
+    cls = FAULT_MODELS.get(name.strip())
+    if cls is None:
+        raise ValueError(
+            f"unknown fault model {name.strip()!r}; "
+            f"known: {sorted(FAULT_MODELS)}"
+        )
+    params: dict[str, str] = {}
+    if body:
+        for item in body.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"fault spec {spec!r}: parameters must be key=value, "
+                    f"got {item!r}"
+                )
+            params[key.strip()] = value.strip()
+    return cls(**params)
+
+
+def fault_table() -> tuple[list[str], list[tuple]]:
+    """``(headers, rows)`` describing every model (``repro faults list``)."""
+    headers = ["Model", "Parameters (defaults)", "Targets", "Description"]
+    rows = []
+    for name in sorted(FAULT_MODELS):
+        cls = FAULT_MODELS[name]
+        params = ", ".join(
+            f"{key}={default!r}" if isinstance(default, str)
+            else f"{key}={default}"
+            for key, (_conv, default) in cls.PARAMS.items()
+        )
+        rows.append((name, params or "-", cls.targets, cls.describe))
+    return headers, rows

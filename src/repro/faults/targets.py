@@ -1,0 +1,115 @@
+"""Target samplers and filters: *which storage* a fault may land in.
+
+A :class:`TargetFilter` narrows a module's storage inventory down to the
+locations a fault model samples from: by flip-flop class (Table 4), by
+register-name glob, by storage kind (flip-flop vs SRAM), and by
+entry/row range.  :class:`Protection` models the parity/ECC machinery
+the paper excludes protected storage for: events whose every flip is
+individually correctable are *masked* -- reclassified rather than
+applied, so the run trivially vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.rtl.registers import FlipFlopClass
+
+#: Accepted ``classes=`` filter values (plus ``any``).
+FF_CLASS_NAMES = tuple(cls.value for cls in FlipFlopClass)
+
+
+@dataclass(frozen=True)
+class TargetFilter:
+    """Narrowing of a module's storage inventory.
+
+    Attributes:
+        classes: eligible flip-flop classes (Table 4 names); ``("any",)``
+            admits every class.  Ignored for SRAM targets (SRAMs have no
+            class -- they are uniformly ECC-protected).
+        name_glob: ``fnmatch`` glob on the register/SRAM name.
+        kind: ``"ff"`` (registers and register arrays) or ``"sram"``.
+        entry_range: inclusive ``(lo, hi)`` bound on the entry/row index.
+    """
+
+    classes: tuple = (FlipFlopClass.TARGET.value,)
+    name_glob: "str | None" = None
+    kind: str = "ff"
+    entry_range: "tuple[int, int] | None" = None
+
+    def admits_class(self, ff_class: FlipFlopClass) -> bool:
+        return "any" in self.classes or ff_class.value in self.classes
+
+    def admits_name(self, name: str) -> bool:
+        return self.name_glob is None or fnmatchcase(name, self.name_glob)
+
+    def admits_entry(self, entry: int) -> bool:
+        if self.entry_range is None:
+            return True
+        lo, hi = self.entry_range
+        return lo <= entry <= hi
+
+
+def candidate_registers(module, filt: TargetFilter) -> list:
+    """Registers/arrays of ``module`` admitted by the filter, in
+    declaration order (the order the sampling index is built in)."""
+    out = []
+    for name, reg in module.registers().items():
+        if filt.admits_class(reg.ff_class) and filt.admits_name(name):
+            out.append(reg)
+    return out
+
+
+def candidate_bits(module, filt: TargetFilter) -> list[tuple[str, int, int]]:
+    """All ``(register, entry, bit)`` locations admitted by the filter."""
+    out: list[tuple[str, int, int]] = []
+    for reg in candidate_registers(module, filt):
+        entries = getattr(reg, "entries", 1)
+        for entry in range(entries):
+            if not filt.admits_entry(entry):
+                continue
+            for bit in range(reg.width):
+                out.append((reg.name, entry, bit))
+    return out
+
+
+def candidate_rows(module, filt: TargetFilter) -> list[tuple[str, int]]:
+    """All ``(sram, row)`` pairs admitted by the filter."""
+    out: list[tuple[str, int]] = []
+    for name, sram in module.srams().items():
+        if not filt.admits_name(name):
+            continue
+        for row in range(sram.entries):
+            if filt.admits_entry(row):
+                out.append((name, row))
+    return out
+
+
+class Protection:
+    """Parity/ECC masking model (the paper's Table 4 exclusion rule).
+
+    Protected flip-flops hold ECC/CRC-encoded data and SRAM arrays are
+    ECC-protected: a single flipped bit per protected word is corrected
+    by the existing machinery.  An event is **masked** when every one of
+    its locations sits in protected storage *and* no protected word
+    receives two or more flips (SECDED corrects one error per word;
+    multi-bit bursts inside a word defeat it).
+    """
+
+    def is_protected(self, module, storage: str) -> bool:
+        if storage.startswith("sram:"):
+            return True
+        reg = module.registers().get(storage)
+        return reg is not None and reg.ff_class is FlipFlopClass.PROTECTED
+
+    def masks(self, module, locations) -> bool:
+        if not locations:
+            return False
+        per_word: dict[tuple[str, int], int] = {}
+        for storage, entry, _bit in locations:
+            if not self.is_protected(module, storage):
+                return False
+            key = (storage, entry)
+            per_word[key] = per_word.get(key, 0) + 1
+        return all(count < 2 for count in per_word.values())

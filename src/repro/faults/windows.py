@@ -1,0 +1,66 @@
+"""Injection-window sampling: *when* and *into which instance*.
+
+This module owns the component-aware timing rules that used to live
+inline in ``MixedModePlatform.sample_injection_point``: PCIe injections
+must land inside the DMA transfer window (the paper models PCIe
+transferring the input file), L2C/MCU injections pick a random instance,
+and everything else samples uniformly over the whole execution.
+
+Determinism contract: :func:`sample_point` consumes the campaign RNG in
+exactly the sequence the platform's inline sampler did (one ``randrange``
+for the cycle, one more for the instance only on multi-instance
+components), so the default fault model stays bit-identical to the
+pre-subsystem behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InjectionWindow:
+    """The cycle/instance space one component's injections sample from.
+
+    ``draw_instance`` records whether the instance is randomly drawn
+    (L2C banks, MCUs) or fixed (single-instance components) -- kept
+    explicit so the RNG call sequence is part of the contract, not a
+    side effect of ``instances == 1``.
+    """
+
+    lo: int
+    hi: int
+    instances: int = 1
+    draw_instance: bool = False
+
+
+def injection_window(platform, component: str) -> InjectionWindow:
+    """The injection window of ``component`` on ``platform``.
+
+    PCIe windows span the golden run's DMA transfer; other components
+    span the whole error-free execution.
+    """
+    if component == "pcie":
+        if platform.golden.pcie_window is None:
+            raise ValueError(
+                f"benchmark {platform.benchmark!r} has no PCIe input transfer"
+            )
+        lo, hi = platform.golden.pcie_window
+        return InjectionWindow(max(lo, 1), max(hi, lo + 2))
+    config = platform.machine_config
+    lo, hi = 1, max(2, platform.golden.cycles - 1)
+    if component == "l2c":
+        return InjectionWindow(lo, hi, config.l2_banks, draw_instance=True)
+    if component == "mcu":
+        return InjectionWindow(lo, hi, config.mcus, draw_instance=True)
+    return InjectionWindow(lo, hi)
+
+
+def sample_point(
+    window: InjectionWindow, rng: random.Random
+) -> tuple[int, int]:
+    """Random ``(injection_cycle, instance)`` inside a window."""
+    cycle = rng.randrange(window.lo, window.hi)
+    instance = rng.randrange(window.instances) if window.draw_instance else 0
+    return cycle, instance

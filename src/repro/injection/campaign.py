@@ -13,6 +13,7 @@ import random
 import zlib
 from dataclasses import dataclass, field
 
+from repro.faults.models import FaultModel, SingleBitFlip
 from repro.mixedmode.platform import InjectionRun, MixedModePlatform
 from repro.system.outcome import OUTCOME_ORDER, Outcome
 from repro.utils.stats import BinomialEstimate
@@ -27,6 +28,28 @@ class OutcomeTable:
     counts: dict[Outcome, int] = field(default_factory=dict)
     persistent: int = 0
     total: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "benchmark": self.benchmark,
+            "counts": {o.value: n for o, n in self.counts.items()},
+            "persistent": self.persistent,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OutcomeTable":
+        return cls(
+            component=data["component"],
+            benchmark=data["benchmark"],
+            counts={
+                Outcome(name): n
+                for name, n in data.get("counts", {}).items()
+            },
+            persistent=data.get("persistent", 0),
+            total=data.get("total", 0),
+        )
 
     def add(self, run: InjectionRun) -> None:
         self.total += 1
@@ -89,19 +112,42 @@ class CampaignResult:
             if r.rollback_distance is not None
         ]
 
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form: the table plus every run's record,
+        fault-event metadata included (aggregation used to drop the
+        flipped locations)."""
+        return {
+            "table": self.table.to_dict(),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            table=OutcomeTable.from_dict(data["table"]),
+            runs=[InjectionRun.from_dict(r) for r in data.get("runs", ())],
+        )
+
 
 class InjectionCampaign:
-    """Runs one (component, benchmark) campaign cell."""
+    """Runs one (component, benchmark) campaign cell.
+
+    ``fault`` selects the fault model (defaults to the paper's
+    single-bit TARGET-flip-flop flip, bit-identical to the
+    pre-subsystem behaviour).
+    """
 
     def __init__(
         self,
         platform: MixedModePlatform,
         component: str,
         seed: int = 0,
+        fault: "FaultModel | None" = None,
     ) -> None:
         self.platform = platform
         self.component = component
         self.seed = seed
+        self.fault = fault if fault is not None else SingleBitFlip()
 
     def run(self, n_injections: int) -> CampaignResult:
         # stable digest, NOT hash(): str hashes vary across interpreter
@@ -113,11 +159,14 @@ class InjectionCampaign:
         table = OutcomeTable(self.component, self.platform.benchmark)
         result = CampaignResult(table)
         for _ in range(n_injections):
-            cycle, instance, bit = self.platform.sample_injection_point(
-                self.component, rng
-            )
+            event = self.fault.sample(self.platform, self.component, rng)
             run = self.platform.run_injection(
-                self.component, cycle, bit, instance=instance, rng=rng
+                self.component,
+                event.cycle,
+                instance=event.instance,
+                rng=rng,
+                fault=self.fault,
+                event=event,
             )
             table.add(run)
             result.runs.append(run)

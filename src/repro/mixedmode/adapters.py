@@ -98,6 +98,21 @@ class CosimAdapterBase:
         """Inject the bit flip into the target (Fig. 1b, item 4)."""
         return self.target.flip_target_bit(bit_index)
 
+    # -- location-addressed injection (the fault-model subsystem) --------
+    def flip_at(self, name: str, entry: int, bit: int) -> tuple[str, int, int]:
+        """Flip an explicit flip-flop location in the target."""
+        self.target.flip_bit(name, entry, bit)
+        return (name, entry, bit)
+
+    def flip_sram(self, name: str, entry: int, bit: int) -> tuple[str, int, int]:
+        """Flip a bit inside one of the target's SRAM rows."""
+        self.target.flip_sram_bit(name, entry, bit)
+        return ("sram:" + name, entry, bit)
+
+    def force_at(self, name: str, entry: int, bit: int, value: int) -> bool:
+        """Force a target flip-flop to ``value`` (stuck-at assertion)."""
+        return self.target.force_bit(name, entry, bit, value)
+
     def release(self) -> None:
         """Unswap the adapter WITHOUT state transfer (abandoned runs)."""
         raise NotImplementedError

@@ -21,6 +21,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.faults.event import FaultEvent
+from repro.faults.models import SingleBitFlip
 from repro.mixedmode.adapters import (
     CosimAdapterBase,
     L2cCosimAdapter,
@@ -98,6 +100,29 @@ class CosimResult:
     residual_at_exit: int = 0
     ended_by: str = ""
 
+    def to_dict(self) -> dict:
+        return {
+            "cosim_cycles": self.cosim_cycles,
+            "vanished": self.vanished,
+            "persistent": self.persistent,
+            "propagated_cycle": self.propagated_cycle,
+            "corrupted_words": list(self.corrupted_words),
+            "residual_at_exit": self.residual_at_exit,
+            "ended_by": self.ended_by,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CosimResult":
+        return cls(
+            cosim_cycles=data.get("cosim_cycles", 0),
+            vanished=data.get("vanished", False),
+            persistent=data.get("persistent", False),
+            propagated_cycle=data.get("propagated_cycle"),
+            corrupted_words=list(data.get("corrupted_words", ())),
+            residual_at_exit=data.get("residual_at_exit", 0),
+            ended_by=data.get("ended_by", ""),
+        )
+
 
 @dataclass
 class InjectionRun:
@@ -117,10 +142,51 @@ class InjectionRun:
     #: required rollback distance (Fig. 9), if memory was corrupted
     rollback_distance: "int | None" = None
     ran_phase3: bool = False
+    #: the sampled fault behind this run (None for legacy direct calls)
+    fault_event: "FaultEvent | None" = None
 
     @property
     def is_erroneous(self) -> bool:
         return self.outcome is not None and self.outcome.is_erroneous
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "instance": self.instance,
+            "benchmark": self.benchmark,
+            "injection_cycle": self.injection_cycle,
+            "flip_location": list(self.flip_location),
+            "warmup": self.warmup,
+            "outcome": self.outcome.value if self.outcome else None,
+            "persistent": self.persistent,
+            "cosim": self.cosim.to_dict(),
+            "propagation_latency": self.propagation_latency,
+            "rollback_distance": self.rollback_distance,
+            "ran_phase3": self.ran_phase3,
+            "fault_event": (
+                self.fault_event.to_dict() if self.fault_event else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectionRun":
+        fault = data.get("fault_event")
+        outcome = data.get("outcome")
+        return cls(
+            component=data["component"],
+            instance=data.get("instance", 0),
+            benchmark=data.get("benchmark", ""),
+            injection_cycle=data["injection_cycle"],
+            flip_location=tuple(data["flip_location"]),
+            warmup=data.get("warmup", 0),
+            outcome=Outcome(outcome) if outcome is not None else None,
+            persistent=data.get("persistent", False),
+            cosim=CosimResult.from_dict(data.get("cosim", {})),
+            propagation_latency=data.get("propagation_latency"),
+            rollback_distance=data.get("rollback_distance"),
+            ran_phase3=data.get("ran_phase3", False),
+            fault_event=FaultEvent.from_dict(fault) if fault else None,
+        )
 
 
 def compute_golden(
@@ -231,30 +297,14 @@ class MixedModePlatform:
     ) -> tuple[int, int, int]:
         """Random (injection_cycle, instance, target_bit) for a component.
 
-        PCIe injections fall inside the DMA transfer window (the paper
-        models PCIe transferring the input file); other components sample
-        uniformly over the whole execution.
+        Delegates to the default fault model: the component-aware window
+        rules (PCIe injections fall inside the DMA transfer window, the
+        paper models PCIe transferring the input file) live in
+        :mod:`repro.faults.windows` now, so the platform no longer
+        branches on component names here.
         """
-        if component == "pcie":
-            if self.golden.pcie_window is None:
-                raise ValueError(
-                    f"benchmark {self.benchmark!r} has no PCIe input transfer"
-                )
-            lo, hi = self.golden.pcie_window
-            cycle = rng.randrange(max(lo, 1), max(hi, lo + 2))
-            instance = 0
-        else:
-            cycle = rng.randrange(1, max(2, self.golden.cycles - 1))
-            if component == "l2c":
-                instance = rng.randrange(self.machine_config.l2_banks)
-            elif component == "mcu":
-                instance = rng.randrange(self.machine_config.mcus)
-            else:
-                instance = 0
-        from repro.soc.geometry import T2_GEOMETRY
-
-        nbits = T2_GEOMETRY[component].target_ffs
-        return cycle, instance, rng.randrange(nbits)
+        event = SingleBitFlip().sample(self, component, rng)
+        return event.cycle, event.instance, event.params["bit"]
 
     # ------------------------------------------------------------------
     # One injection run (Fig. 2)
@@ -263,13 +313,30 @@ class MixedModePlatform:
         self,
         component: str,
         injection_cycle: int,
-        target_bit: int,
+        target_bit: "int | None" = None,
         instance: int = 0,
         warmup: "int | None" = None,
         rng: "random.Random | None" = None,
         cosim_cycle_cap: "int | None" = None,
+        fault=None,
+        event: "FaultEvent | None" = None,
     ) -> InjectionRun:
-        rng = rng if rng is not None else random.Random(target_bit * 1_000_003)
+        """One injection run (Fig. 2).
+
+        The legacy form passes an explicit ``target_bit`` (the default
+        single-bit flip).  The fault-model form passes a ``fault`` model
+        plus the ``event`` it sampled; the model then owns the
+        corruption (and, for stuck-at/intermittent faults, its per-cycle
+        re-assertion during co-simulation).
+        """
+        if fault is None and target_bit is None:
+            raise ValueError("run_injection needs a target_bit or a fault+event")
+        if fault is not None and event is None:
+            raise ValueError("run_injection with a fault model needs its event")
+        if rng is None:
+            rng = random.Random(
+                (target_bit if target_bit is not None else 0) * 1_000_003
+            )
         cap = cosim_cycle_cap if cosim_cycle_cap is not None else (
             self.cosim.cosim_cycle_cap
         )
@@ -290,7 +357,12 @@ class MixedModePlatform:
             machine.step()
 
         # ---- phase 2: inject and co-simulate ------------------------------
-        flip_loc = adapter.flip(target_bit)
+        if fault is not None:
+            flip_loc = fault.apply(adapter, event)
+            live = fault.live(event, machine.cycle)
+        else:
+            flip_loc = adapter.flip(target_bit)
+            live = None
         inject_abs = machine.cycle
         cosim = CosimResult()
         outcome: "Outcome | None" = None
@@ -299,8 +371,11 @@ class MixedModePlatform:
         check = self.cosim.check_interval
         while True:
             steps = min(check, cap - cosim.cosim_cycles)
-            for _ in range(steps):
-                machine.step()
+            if live is None:
+                for _ in range(steps):
+                    machine.step()
+            else:
+                self._step_with_live_fault(adapter, live, steps)
             cosim.cosim_cycles += steps
             # a trap during co-simulation ends the run immediately
             trap = machine.any_trap()
@@ -311,8 +386,16 @@ class MixedModePlatform:
             status = adapter.compare()
             if adapter.erroneous_output_cycle is not None:
                 cosim.propagated_cycle = adapter.erroneous_output_cycle
+            # while a live fault is still asserted (stuck-at hold,
+            # intermittent window) the "guaranteed to match" premise of
+            # the early exits does not hold: the fault will re-corrupt
+            # state, so keep co-simulating until it releases
+            fault_held = (
+                live is not None and live.next_active_cycle() is not None
+            )
             if (
-                status.residual == 0
+                not fault_held
+                and status.residual == 0
                 and status.highlevel == 0
                 and not status.corrupted_words
                 and adapter.erroneous_output_cycle is None
@@ -325,7 +408,7 @@ class MixedModePlatform:
                 outcome = Outcome.VANISHED
                 cosim.ended_by = "vanished"
                 break
-            if status.exitable and adapter.quiescent():
+            if not fault_held and status.exitable and adapter.quiescent():
                 cosim.corrupted_words = list(status.corrupted_words)
                 if isinstance(adapter, L2cCosimAdapter):
                     cosim.corrupted_words = sorted(
@@ -386,7 +469,29 @@ class MixedModePlatform:
             propagation_latency=propagation,
             rollback_distance=rollback,
             ran_phase3=ran_phase3,
+            fault_event=event,
         )
+
+    # ------------------------------------------------------------------
+    def _step_with_live_fault(self, adapter, live, steps: int) -> None:
+        """Advance ``steps`` cycles, firing the live fault when due.
+
+        Mirrors the event engine's active-set idea: the fault reports
+        its next assertion cycle and simulation batches up to it, so an
+        intermittent fault with a long period costs almost nothing while
+        a stuck-at (due every cycle) degrades gracefully to
+        cycle-stepping.
+        """
+        machine = self.machine
+        end = machine.cycle + steps
+        while machine.cycle < end:
+            due = live.next_active_cycle()
+            if due is None or due >= end:
+                machine.run_until_cycle(end)
+                return
+            if due > machine.cycle:
+                machine.run_until_cycle(due)
+            live.fire(adapter, machine.cycle)
 
     # ------------------------------------------------------------------
     def _attach_quiesced(self, component: str, instance: int) -> CosimAdapterBase:

@@ -129,6 +129,17 @@ class RtlModule:
         else:
             reg.flip(bit)
 
+    def flip_sram_bit(self, name: str, entry: int, bit: int) -> None:
+        """Inject a bit upset into an SRAM row (SRAM fault models)."""
+        self._srams[name].flip(bit, entry)
+
+    def force_bit(self, name: str, entry: int, bit: int, value: int) -> bool:
+        """Force a flip-flop to ``value`` (stuck-at); True if it changed."""
+        reg = self._registers[name]
+        if isinstance(reg, RegisterArray):
+            return reg.force(bit, value, entry)
+        return reg.force(bit, value)
+
     # ------------------------------------------------------------------
     # State manipulation
     # ------------------------------------------------------------------

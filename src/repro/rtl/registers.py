@@ -108,6 +108,17 @@ class Register:
             raise IndexError(f"register {self.name!r}: bit {bit} out of range")
         self.value ^= 1 << bit
 
+    def force(self, bit: int, value: int) -> bool:
+        """Force ``bit`` to ``value`` (stuck-at); True if it changed."""
+        if not 0 <= bit < self.width:
+            raise IndexError(f"register {self.name!r}: bit {bit} out of range")
+        old = self.value
+        if value:
+            self.value = old | (1 << bit)
+        else:
+            self.value = old & ~(1 << bit)
+        return self.value != old
+
     def reset(self) -> None:
         self.value = self.reset_value
 
@@ -185,6 +196,19 @@ class RegisterArray:
             raise IndexError(f"array {self.name!r}: bit {bit} out of range")
         self.values[entry] ^= 1 << bit
 
+    def force(self, bit: int, value: int, entry: int = 0) -> bool:
+        """Force ``entry``'s ``bit`` to ``value``; True if it changed."""
+        if not 0 <= entry < self.entries:
+            raise IndexError(f"array {self.name!r}: entry {entry} out of range")
+        if not 0 <= bit < self.width:
+            raise IndexError(f"array {self.name!r}: bit {bit} out of range")
+        old = self.values[entry]
+        if value:
+            self.values[entry] = old | (1 << bit)
+        else:
+            self.values[entry] = old & ~(1 << bit)
+        return self.values[entry] != old
+
     def reset(self) -> None:
         self.values = [self.reset_value] * self.entries
 
@@ -238,6 +262,14 @@ class SramArray:
 
     def write(self, entry: int, value: int) -> None:
         self.values[entry] = value & self.mask
+
+    def flip(self, bit: int, entry: int = 0) -> None:
+        """Inject a bit upset into one row (SRAM fault models)."""
+        if not 0 <= entry < self.entries:
+            raise IndexError(f"sram {self.name!r}: entry {entry} out of range")
+        if not 0 <= bit < self.width:
+            raise IndexError(f"sram {self.name!r}: bit {bit} out of range")
+        self.values[entry] ^= 1 << bit
 
     def snapshot(self) -> list[int]:
         return list(self.values)

@@ -100,6 +100,53 @@ class TestCommands:
             ("l2c", "fft"), ("l2c", "radi"), ("mcu", "fft"), ("mcu", "radi"),
         ]
 
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("seu", "mbu", "stuck", "flicker", "sram"):
+            assert name in out
+
+    def test_campaign_with_fault_json(self, capsys):
+        rc = main([
+            "campaign", "--benchmark", "fft", "--component", "l2c",
+            "--n", "2", *SMALL, "--fault", "mbu:k=3", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["fault"] == "mbu:k=3"
+        assert payload["summary"]["fault"] == "mbu:k=3"
+        for record in payload["records"]:
+            assert record["fault"]["model"] == "mbu"
+            assert len(record["fault"]["locations"]) == 3
+
+    def test_campaign_rejects_bad_fault_spec(self, capsys):
+        rc = main([
+            "campaign", "--benchmark", "fft", "--n", "1", *SMALL,
+            "--fault", "cosmic",
+        ])
+        assert rc == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_sweep_with_fault(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--components", "l2c", "--benchmarks", "fft",
+            "--n", "2", *SMALL, "--fault", "stuck:hold=100",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["grid"]["fault"] == "stuck:hold=100"
+        assert payload["results"][0]["spec"]["fault"] == "stuck:hold=100"
+
+    def test_sweep_rejects_fault_outside_injection_mode(self, capsys):
+        rc = main([
+            "sweep", "--mode", "qrr", "--components", "l2c",
+            "--benchmarks", "fft", "--n", "1", *SMALL,
+            "--fault", "mbu:k=2",
+        ])
+        assert rc == 2
+
     def test_sweep_parallel_matches_serial(self, capsys, tmp_path):
         argv = [
             "sweep", "--components", "l2c", "--benchmarks", "fft",

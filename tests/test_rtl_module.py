@@ -86,6 +86,60 @@ class TestFlipping:
         m.flip_bit("prot", 0, 2)
         assert m.prot.value == 4
 
+    def test_flip_bit_reaches_every_class(self):
+        """flip_bit addresses any flip-flop class, not just TARGET --
+        the fault subsystem's classes= filter relies on this."""
+        m = ToyModule()
+        m.flip_bit("bist", 0, 7)       # INACTIVE
+        assert m.bist.value == 0x80
+        m.flip_bit("cfg", 0, 0)        # config register
+        assert m.cfg.value == 0xB
+        m.flip_bit("perf", 0, 1)       # non-functional
+        assert m.perf.value == 2
+        m.flip_bit("queue", 3, 15)     # array entry addressing
+        assert m.queue.read(3) == 0x8000
+        # double flip restores every location
+        for name, entry, bit in (("bist", 0, 7), ("cfg", 0, 0),
+                                 ("perf", 0, 1), ("queue", 3, 15)):
+            m.flip_bit(name, entry, bit)
+        assert m.compare(ToyModule()) == []
+
+    def test_flip_bit_out_of_range(self):
+        m = ToyModule()
+        with pytest.raises(IndexError):
+            m.flip_bit("ctrl", 0, 8)
+        with pytest.raises(IndexError):
+            m.flip_bit("queue", 4, 0)
+        with pytest.raises(KeyError):
+            m.flip_bit("nope", 0, 0)
+
+    def test_flip_sram_bit(self):
+        m = ToyModule()
+        m.flip_sram_bit("mem", 2, 5)
+        assert m.mem.read(2) == 32
+        (mismatch,) = m.compare(ToyModule())
+        assert mismatch.kind is MismatchKind.SRAM
+        m.flip_sram_bit("mem", 2, 5)
+        assert m.compare(ToyModule()) == []
+
+    def test_flip_sram_bit_out_of_range(self):
+        m = ToyModule()
+        with pytest.raises(IndexError):
+            m.flip_sram_bit("mem", 4, 0)
+        with pytest.raises(IndexError):
+            m.flip_sram_bit("mem", 0, 32)
+
+    def test_force_bit(self):
+        m = ToyModule()
+        assert m.force_bit("ctrl", 0, 0, 1) is True
+        assert m.ctrl.value == 0x11
+        # re-forcing the same value reports no change (stuck-at re-assert)
+        assert m.force_bit("ctrl", 0, 0, 1) is False
+        assert m.force_bit("ctrl", 0, 4, 0) is True
+        assert m.ctrl.value == 0x01
+        assert m.force_bit("queue", 2, 3, 1) is True
+        assert m.queue.read(2) == 8
+
 
 class TestSnapshotCompare:
     def test_snapshot_restore_roundtrip(self):
@@ -107,6 +161,39 @@ class TestSnapshotCompare:
         c = m.clone()
         m.queue.write(0, 5)
         assert c.queue.read(0) == 0
+
+    def test_sram_snapshot_restore_roundtrip(self):
+        m = ToyModule()
+        for row in range(4):
+            m.mem.write(row, row * 0x111)
+        snap = m.snapshot()
+        assert snap["sram:mem"] == [0, 0x111, 0x222, 0x333]
+        for row in range(4):
+            m.mem.write(row, 0xDEAD)
+        m.restore(snap)
+        assert [m.mem.read(r) for r in range(4)] == [0, 0x111, 0x222, 0x333]
+
+    def test_sram_snapshot_is_a_copy(self):
+        m = ToyModule()
+        snap = m.snapshot()
+        m.mem.write(0, 99)
+        assert snap["sram:mem"][0] == 0
+
+    def test_sram_restore_rejects_wrong_shape(self):
+        m = ToyModule()
+        snap = m.snapshot()
+        snap["sram:mem"] = [0, 1]  # wrong entry count
+        with pytest.raises(ValueError, match="entry count"):
+            m.restore(snap)
+
+    def test_clone_is_deep_for_srams(self):
+        m = ToyModule()
+        c = m.clone()
+        m.mem.write(1, 77)
+        m.flip_sram_bit("mem", 2, 0)
+        assert c.mem.read(1) == 0
+        assert c.mem.read(2) == 0
+        assert len(m.compare(c)) == 2
 
     def test_compare_identical(self):
         assert ToyModule().compare(ToyModule()) == []
