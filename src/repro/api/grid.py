@@ -42,6 +42,11 @@ class Grid:
     scale: float = DEFAULT_SCALE
     #: fault-model spec string, applied to injection cells (see repro.faults)
     fault: "str | None" = None
+    #: machine cycle engine for every cell (None: session default).
+    #: Bit-identical engines mean results do not depend on it; process
+    #: workers fall back to the default engine because the canonical
+    #: spec JSON deliberately omits it.
+    engine: "str | None" = None
 
     def specs(self) -> list[ExperimentSpec]:
         """All valid cells of the grid, in reporting order."""
@@ -76,6 +81,7 @@ class Grid:
                                 if self.mode == "injection"
                                 else None
                             ),
+                            engine=self.engine,
                         )
                     )
         return out

@@ -35,11 +35,11 @@ from repro.workloads import build_workload
 class Session:
     """Resolves experiment specs into platforms, campaigns and results.
 
-    ``engine`` selects the machine cycle engine; the default
-    (event-driven) and the reference stepper produce bit-identical
-    results, so it is a performance knob only and deliberately not part
-    of :class:`~repro.api.spec.ExperimentSpec` (it must not change spec
-    digests).
+    ``engine`` selects the machine cycle engine for specs that do not
+    name one themselves (``ExperimentSpec.engine`` wins when set).  All
+    engines -- event, reference, compiled -- produce bit-identical
+    results, so the choice is a performance knob only and never reaches
+    spec digests, cache keys or canonical result bytes.
     """
 
     def __init__(
@@ -63,7 +63,7 @@ class Session:
                 scale=spec.scale,
                 seed=spec.seed,
                 pcie_input=spec.pcie_input,
-                engine=self.engine,
+                engine=spec.engine or self.engine,
             )
             if self._cache_platforms:
                 self._platforms[key] = platform
@@ -174,7 +174,7 @@ class Session:
             scale=spec.scale,
             seed=spec.seed,
         )
-        machine = Machine(spec.machine, engine=self.engine)
+        machine = Machine(spec.machine, engine=spec.engine or self.engine)
         machine.load_workload(image, pcie_input=spec.pcie_input)
         return compute_golden(
             machine,

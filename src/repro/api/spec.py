@@ -15,7 +15,7 @@ import json
 from dataclasses import dataclass, field, replace
 
 from repro.faults.models import DEFAULT_FAULT, FaultModel, parse_fault
-from repro.system.machine import MachineConfig
+from repro.system.machine import ENGINES, MachineConfig
 from repro.workloads import ALL_BENCHMARKS, PCIE_BENCHMARKS
 
 #: Experiment modes understood by the session layer.
@@ -59,6 +59,12 @@ class ExperimentSpec:
             to ``None`` -- is the paper's single-bit flip.  Stored in
             canonical form so two specs share a digest iff they run the
             same fault.
+        engine: machine cycle engine (``event``/``reference``/
+            ``compiled``); ``None`` defers to the session default.  All
+            engines are bit-identical (the differential suite enforces
+            it), so the engine is a performance knob only: it is
+            excluded from equality, digests and the canonical JSON so
+            results and cache entries are engine-independent.
     """
 
     benchmark: str = "fft"
@@ -69,6 +75,7 @@ class ExperimentSpec:
     seed: int = 2015
     n: int = 100
     fault: "str | None" = None
+    engine: "str | None" = field(default=None, compare=False)
 
     @staticmethod
     def _err(field_name: str, message: str) -> None:
@@ -119,6 +126,11 @@ class ExperimentSpec:
                     f"QRR protects {QRR_COMPONENTS}, got {self.component!r}",
                 )
         self._normalize_fault()
+        if self.engine is not None and self.engine not in ENGINES:
+            self._err(
+                "engine",
+                f"unknown engine {self.engine!r}; known: {ENGINES}",
+            )
         if self.mode != "golden" and self.n < 1:
             self._err("n", f"must be at least 1, got {self.n}")
         if self.scale <= 0.0:
@@ -163,13 +175,20 @@ class ExperimentSpec:
         return self.component == "pcie"
 
     def platform_key(self) -> tuple:
-        """Cache key: specs sharing it can share one platform/golden run."""
+        """Cache key: specs sharing it can share one platform/golden run.
+
+        The engine is part of the key: engines are bit-identical, so
+        sharing across engines would be *correct*, but it would silently
+        run a spec's campaign on another spec's engine -- confusing for
+        performance comparisons.
+        """
         return (
             self.benchmark,
             self.machine,
             self.scale,
             self.seed,
             self.pcie_input,
+            self.engine,
         )
 
     def fault_model(self) -> FaultModel:
@@ -214,7 +233,9 @@ class ExperimentSpec:
             "n": self.n,
         }
         # omitted when default so pre-fault spec digests (and cached
-        # sweep results keyed by them) stay valid
+        # sweep results keyed by them) stay valid; the engine is never
+        # serialized (bit-identical engines must share digests, cache
+        # entries and canonical result bytes)
         if self.fault is not None:
             out["fault"] = self.fault
         return out

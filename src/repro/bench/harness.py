@@ -1,7 +1,8 @@
 """Cycle-engine benchmark scenarios and the canonical BENCH JSON.
 
 Four scenarios cover the hot paths of the reproduction, each timed under
-both cycle engines (``event`` -- the default activity-tracked engine --
+all three cycle engines (``event`` -- the default activity-tracked
+engine --, ``compiled`` -- the block-superinstruction core engine --
 and ``reference`` -- the everything-every-cycle baseline stepper):
 
 * ``golden``: the error-free reference run with periodic (delta)
@@ -14,9 +15,16 @@ and ``reference`` -- the everything-every-cycle baseline stepper):
 
 Throughput is reported as simulated cycles per wall-clock second;
 ``Machine.cycles_advanced`` counts every advanced cycle including the
-event engine's one-hop idle skips, so both engines are measured against
+event engine's one-hop idle skips, so all engines are measured against
 the same denominator.  Each scenario runs ``repeats`` times and keeps
 the best (the host's scheduling noise is substantial).
+
+Schema v2 additions: per-engine golden entries carry a ``phases``
+breakdown (core interpretation vs uncore datapath vs snapshot capture,
+measured on one instrumented pass outside the timed repeats) and the
+result matrix reports ``speedup_compiled_vs_reference`` /
+``speedup_compiled_vs_event`` alongside the existing event-vs-reference
+ratio.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from repro.system.machine import ENGINES, Machine, MachineConfig
 from repro.workloads import build_workload
 
 #: Bump when the BENCH JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: The machine geometry campaigns use (matches the CLI defaults).
 BENCH_MACHINE = MachineConfig(
@@ -124,8 +132,51 @@ def _bench_golden(engine: str, settings: BenchSettings, log) -> dict:
     out = _throughput(stats["cycles"], seconds)
     if "snapshots" in stats:
         out["snapshot_storage"] = stats["snapshots"]
+    if engine != "reference":
+        # the reference engine inlines its uncore stage, so no phase
+        # split is measurable for it -- skip the extra pass rather than
+        # pay the slowest engine's golden run for an empty breakdown
+        out["phases"] = _golden_phase_breakdown(engine, image)
     log(f"  golden[{engine}]: {out['cycles_per_sec']:,.0f} cycles/s")
     return out
+
+
+def _golden_phase_breakdown(engine: str, image) -> dict:
+    """Schema-v2 per-phase timing of one golden run (seconds).
+
+    One extra *instrumented* pass (outside the timed best-of repeats,
+    so the headline numbers stay clean): the uncore stage and the
+    snapshot captures are wrapped with timers on the machine instance,
+    and core interpretation is everything that remains.
+    """
+    machine = Machine(BENCH_MACHINE, engine=engine)
+    machine.load_workload(image)
+    acc = {"uncore": 0.0, "snapshot": 0.0}
+    perf = time.perf_counter
+
+    def wrap(name, fn):
+        def timed(*args, **kwargs):
+            t0 = perf()
+            result = fn(*args, **kwargs)
+            acc[name] += perf() - t0
+            return result
+
+        return timed
+
+    machine._step_uncore = wrap("uncore", machine._step_uncore)
+    machine.snapshot = wrap("snapshot", machine.snapshot)
+    machine.delta_snapshot = wrap("snapshot", machine.delta_snapshot)
+    t0 = perf()
+    compute_golden(machine, CosimConfig(), keep_snapshots=True)
+    total = perf() - t0
+    return {
+        "total": round(total, 6),
+        "snapshot": round(acc["snapshot"], 6),
+        "uncore": round(acc["uncore"], 6),
+        "core_interp": round(
+            max(0.0, total - acc["uncore"] - acc["snapshot"]), 6
+        ),
+    }
 
 
 def _campaign_platform(engine: str) -> MixedModePlatform:
@@ -230,12 +281,17 @@ def run_benches(
         entry: dict = {}
         for engine in settings.engines:
             entry[engine] = fn(engine, settings, log)
-        if "event" in entry and "reference" in entry:
-            ref = entry["reference"]["cycles_per_sec"]
-            if ref:
-                entry["speedup_event_vs_reference"] = round(
-                    entry["event"]["cycles_per_sec"] / ref, 3
-                )
+        for name, num, den in (
+            ("speedup_event_vs_reference", "event", "reference"),
+            ("speedup_compiled_vs_reference", "compiled", "reference"),
+            ("speedup_compiled_vs_event", "compiled", "event"),
+        ):
+            if num in entry and den in entry:
+                base = entry[den]["cycles_per_sec"]
+                if base:
+                    entry[name] = round(
+                        entry[num]["cycles_per_sec"] / base, 3
+                    )
         results[scenario] = entry
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -255,7 +311,9 @@ def run_benches(
 
 
 def fault_overhead_guard(
-    settings: "BenchSettings | None" = None, log=lambda line: None
+    settings: "BenchSettings | None" = None,
+    log=lambda line: None,
+    engine: str = "event",
 ) -> dict:
     """Measure the fault-subsystem tax on the default injection path.
 
@@ -269,13 +327,15 @@ def fault_overhead_guard(
     relative overhead.  Both paths execute bit-identical simulation
     work, so the ratio isolates the subsystem's dispatch cost; the
     runs interleave (best-of) to cancel host drift.  CI gates this at
-    5% (``repro bench --fault-guard``).
+    5% (``repro bench --fault-guard``), for both the event and the
+    compiled engine (``--fault-guard-engine``) so the compiled fast
+    path's de-optimization hooks stay within budget too.
     """
     from repro.injection.campaign import InjectionCampaign
     from repro.soc.geometry import T2_GEOMETRY
 
     settings = settings if settings is not None else BenchSettings.tiny()
-    plat = _campaign_platform("event")
+    plat = _campaign_platform(engine)
     component = "l2c"
     nbits = T2_GEOMETRY[component].target_ffs
 
@@ -308,11 +368,12 @@ def fault_overhead_guard(
             best_model = seconds
     overhead = best_model / best_inline - 1.0
     log(
-        f"fault guard: inline {best_inline * 1e3:.1f}ms vs model "
+        f"fault guard[{engine}]: inline {best_inline * 1e3:.1f}ms vs model "
         f"{best_model * 1e3:.1f}ms over {settings.injections} runs "
         f"({overhead:+.1%})"
     )
     return {
+        "engine": engine,
         "inline_seconds": round(best_inline, 6),
         "model_seconds": round(best_model, 6),
         "runs": settings.injections,
@@ -329,23 +390,29 @@ def save_bench(doc: dict, path: "str | Path") -> Path:
 def check_against_baseline(
     doc: dict, baseline_path: "str | Path", tolerance: float = 0.30
 ) -> list[str]:
-    """Regression check: event-engine cycles/sec must not fall more than
-    ``tolerance`` below the committed baseline.  Returns failure lines
+    """Regression check: per-engine cycles/sec must not fall more than
+    ``tolerance`` below the committed baseline.  Every engine present in
+    the baseline (event, compiled, reference) is gated, so the compiled
+    fast path cannot silently regress either.  Returns failure lines
     (empty when the check passes)."""
     baseline = json.loads(Path(baseline_path).read_text())
     failures: list[str] = []
     for scenario, entry in baseline.get("results", {}).items():
-        base = entry.get("event", {}).get("cycles_per_sec")
-        if not base:
-            continue
         current_entry = doc.get("results", {}).get(scenario)
         if current_entry is None:
             continue
-        current = current_entry.get("event", {}).get("cycles_per_sec", 0.0)
-        floor = base * (1.0 - tolerance)
-        if current < floor:
-            failures.append(
-                f"{scenario}: {current:,.0f} cycles/s is more than "
-                f"{tolerance:.0%} below the baseline {base:,.0f}"
-            )
+        for engine in ENGINES:
+            engine_entry = entry.get(engine)
+            if not isinstance(engine_entry, dict):
+                continue
+            base = engine_entry.get("cycles_per_sec")
+            if not base:
+                continue
+            current = current_entry.get(engine, {}).get("cycles_per_sec", 0.0)
+            floor = base * (1.0 - tolerance)
+            if current < floor:
+                failures.append(
+                    f"{scenario}[{engine}]: {current:,.0f} cycles/s is more "
+                    f"than {tolerance:.0%} below the baseline {base:,.0f}"
+                )
     return failures

@@ -43,7 +43,7 @@ from repro.api import (
     make_executor,
 )
 from repro.faults.models import DEFAULT_FAULT
-from repro.system.machine import MachineConfig
+from repro.system.machine import ENGINES, MachineConfig
 from repro.system.outcome import OUTCOME_ORDER
 from repro.utils.render import render_table
 from repro.workloads import ALL_BENCHMARKS
@@ -74,6 +74,7 @@ def _spec(args, mode: str, component: "str | None" = None) -> ExperimentSpec:
             seed=args.seed,
             n=getattr(args, "n", 1),
             fault=getattr(args, "fault", None),
+            engine=getattr(args, "engine", None),
         )
     except ValueError as exc:
         raise _UserError(str(exc)) from exc
@@ -165,6 +166,7 @@ def cmd_sweep(args) -> int:
         machine=_machine_config(args),
         scale=args.scale,
         fault=args.fault,
+        engine=args.engine,
     )
     try:
         specs = grid.specs()
@@ -202,6 +204,7 @@ def cmd_sweep(args) -> int:
                 "machine": grid.machine.to_dict(),
                 "scale": grid.scale,
                 "fault": grid.fault,
+                "engine": grid.engine,
             },
             "results": [r.to_dict() for r in results],
         }
@@ -264,17 +267,21 @@ def cmd_bench(args) -> int:
 
     settings = BenchSettings.tiny() if args.tiny else BenchSettings()
     if args.fault_guard:
-        guard = fault_overhead_guard(settings, log=print)
+        guard = fault_overhead_guard(
+            settings, log=print, engine=args.fault_guard_engine
+        )
         if guard["overhead"] > args.fault_tolerance:
             print(
-                f"fault-subsystem overhead guard: default SingleBitFlip "
+                f"fault-subsystem overhead guard"
+                f"[{args.fault_guard_engine}]: default SingleBitFlip "
                 f"path is {guard['overhead']:+.1%} vs the inline path "
                 f"(limit {args.fault_tolerance:.0%})",
                 file=sys.stderr,
             )
             return 1
         print(
-            f"fault-subsystem overhead guard: {guard['overhead']:+.1%} "
+            f"fault-subsystem overhead guard[{args.fault_guard_engine}]: "
+            f"{guard['overhead']:+.1%} "
             f"(limit {args.fault_tolerance:.0%}): ok"
         )
         return 0
@@ -326,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--l2-ways", type=int, default=4)
         p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
         p.add_argument("--seed", type=int, default=2015)
+        p.add_argument(
+            "--engine", default=None, choices=list(ENGINES),
+            help="machine cycle engine (bit-identical results; "
+                 "performance knob only -- default: event)",
+        )
 
     def json_flag(p):
         p.add_argument(
@@ -415,6 +427,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "against the inline run_injection path and fail "
                         "(exit 1) beyond --fault-tolerance")
     p.add_argument("--fault-tolerance", type=float, default=0.05)
+    p.add_argument("--fault-guard-engine", default="event",
+                   choices=list(ENGINES),
+                   help="cycle engine the fault-overhead guard runs on "
+                        "(CI gates event and compiled)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("tables", help="print the inventory tables")

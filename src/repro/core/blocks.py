@@ -1,0 +1,240 @@
+"""Basic-block superinstruction compiler (the ``compiled`` core engine).
+
+The threaded-code interpreter in :mod:`repro.core.cpu` pays one Python
+closure dispatch per instruction per cycle.  This module compiles each
+straight-line unit of a program (a run of pure register instructions,
+optionally terminated by one branch -- see
+:func:`repro.core.program.block_spans`) into **superinstruction
+closures** that apply every register update of the unit in one call,
+and exposes the per-pc metadata (``runlen``) the compiled dispatch uses
+to chain units into whole continuations.
+
+Execution model (eager continuation with slot debt).  A core still
+owns exactly one issue slot per cycle, so fused execution must stay
+cycle-accurate in its accounting:
+
+* when a thread is dispatched at a pc with ``runlen[pc] = k > 0``, the
+  compiled step backs up the thread's register file and runs unit
+  closures **eagerly**, chaining through taken branches, until it
+  reaches an impure instruction (memory/atomic/OUT/ASSERT/HALT/DIV),
+  the program end, or the continuation cap;
+* having executed ``s`` instructions in one dispatch, the thread owes
+  ``s - 1`` further issue slots (``thread.owed``); each owed slot is an
+  O(1) debt payment in the round-robin, and a core whose issuable
+  threads are all in debt is skipped entirely by the machine loop's
+  autopilot (see ``Core._arm_auto``).
+
+Every slot reports a retirement to the machine, exactly like the
+interpreter, so watchdog and retirement accounting are bit-identical.
+Running the register writes early is invisible: pure instructions
+touch only the issuing thread's registers, which nothing else reads
+mid-continuation.  The one place the intermediate state *is*
+observable -- a machine snapshot taken mid-debt -- is handled by
+``Core.flush_compiled``, which restores the backup and replays exactly
+the consumed instruction count through the plain threaded-code
+handlers, yielding bit-identical per-slot architected state.
+
+Compilation is cached **by program content** (the instruction tuple),
+so the N identical per-thread programs of an SPMD workload compile
+once, and repeated platform builds reuse the cache.
+
+De-optimization: while ``core._compiled_hold`` is set (the platform
+asserts it while a live fault is held, see ``Machine.hold_live_fault``)
+the compiled step never starts a continuation and single-steps through
+the threaded-code handlers.
+"""
+
+from __future__ import annotations
+
+from repro.core.isa import WORD_MASK, Op
+from repro.core.program import Program, block_spans
+
+#: program content (instruction tuple) -> (runlen, units).  Keyed by
+#: content rather than object identity so identical per-thread programs
+#: share one compilation; entries are small and bounded by the number
+#: of distinct program texts seen in the process.
+_CBLOCKS: dict = {}
+
+#: Upper bound on instructions executed per continuation: bounds the
+#: snapshot-flush replay and keeps pure loops from monopolizing one
+#: dispatch (debt accounting stays exact either way).
+CONTINUATION_CAP = 256
+
+#: Minimum statically-guaranteed chain length for a pc to dispatch as a
+#: continuation.  Below this the fixed continuation cost (register
+#: backup, debt bookkeeping) exceeds what fused execution saves, so
+#: short straight-line runs keep the plain threaded-code dispatch --
+#: measured break-even on the bench host is ~4-5 fused slots.
+FUSE_MIN = 6
+
+_ALU_REG = {
+    Op.ADD: "regs[{ra}] + regs[{rb}]",
+    Op.SUB: "regs[{ra}] - regs[{rb}]",
+    Op.MUL: "regs[{ra}] * regs[{rb}]",
+    Op.AND: "regs[{ra}] & regs[{rb}]",
+    Op.OR: "regs[{ra}] | regs[{rb}]",
+    Op.XOR: "regs[{ra}] ^ regs[{rb}]",
+    Op.SHL: "regs[{ra}] << (regs[{rb}] & 63)",
+    Op.SHR: "regs[{ra}] >> (regs[{rb}] & 63)",
+}
+
+_ALU_IMM = {
+    Op.ADDI: "regs[{ra}] + {imm}",
+    Op.MULI: "regs[{ra}] * {imm}",
+    Op.ANDI: "regs[{ra}] & {imm}",
+    Op.ORI: "regs[{ra}] | {imm}",
+    Op.XORI: "regs[{ra}] ^ {imm}",
+    Op.SHLI: "regs[{ra}] << {imm63}",
+    Op.SHRI: "regs[{ra}] >> {imm63}",
+}
+
+_BRANCH_CMP = {Op.BEQ: "==", Op.BNE: "!=", Op.BLT: "<", Op.BGE: ">="}
+
+
+def _reg_stmt(instr) -> "str | None":
+    """The statement applying one pure instruction, or None for no-ops.
+
+    Semantics mirror the threaded-code handlers exactly: writes to r0
+    are discarded (emitting nothing is equivalent -- pure ops have no
+    other effect) and every ALU result is masked like ``write_reg``.
+    """
+    op = instr.op
+    if op is Op.NOP or instr.rd == 0:
+        return None
+    if op is Op.LDI:
+        return f"regs[{instr.rd}] = {instr.imm & WORD_MASK}"
+    if op is Op.CMPLT:
+        return (
+            f"regs[{instr.rd}] = "
+            f"1 if regs[{instr.ra}] < regs[{instr.rb}] else 0"
+        )
+    expr = _ALU_REG.get(op)
+    if expr is not None:
+        expr = expr.format(ra=instr.ra, rb=instr.rb)
+    else:
+        expr = _ALU_IMM[op].format(
+            ra=instr.ra, imm=instr.imm, imm63=instr.imm & 63
+        )
+    return f"regs[{instr.rd}] = ({expr}) & M"
+
+
+def _branch_stmt(instr, fallthrough: int) -> str:
+    if instr.op is Op.JMP:
+        return f"thread.pc = {instr.imm}"
+    cmp = _BRANCH_CMP[instr.op]
+    return (
+        f"thread.pc = {instr.imm} "
+        f"if regs[{instr.ra}] {cmp} regs[{instr.rb}] else {fallthrough}"
+    )
+
+
+def _gen_units(program: Program, start: int, end: int, has_branch: bool):
+    """Superinstruction closures for every suffix of one unit.
+
+    Branch targets can land mid-unit, so each pc in ``[start, end)``
+    gets its own closure covering the suffix from that pc to the unit
+    end.  One ``exec`` compiles all suffixes of the unit.
+    """
+    instrs = program.instrs
+    body_end = end - 1 if has_branch else end
+    lines: list[str] = []
+    names: list[tuple[int, str]] = []
+    for s in range(start, end):
+        name = f"_u{s}"
+        names.append((s, name))
+        lines.append(f"def {name}(core, thread, cycle):")
+        lines.append("    regs = thread.regs")
+        for i in range(s, body_end):
+            stmt = _reg_stmt(instrs[i])
+            if stmt:
+                lines.append("    " + stmt)
+        if has_branch:
+            lines.append("    " + _branch_stmt(instrs[end - 1], end))
+        else:
+            lines.append(f"    thread.pc = {end}")
+        lines.append(f"    thread.retired += {end - s}")
+        lines.append("    return True")
+        lines.append("")
+    namespace: dict = {"M": WORD_MASK}
+    exec("\n".join(lines), namespace)
+    return {s: namespace[name] for s, name in names}
+
+
+def _chain_lengths(program: Program, runlen: list, spans) -> list:
+    """Statically guaranteed fused-chain length from each pc.
+
+    A continuation started at ``pc`` executes at least ``chain[pc]``
+    instructions before hitting an impure boundary: the suffix unit
+    itself plus, through a trailing branch, the worse of the two
+    successor chains.  Pure loops feed back into themselves, so values
+    are relaxed iteratively and capped at :data:`CONTINUATION_CAP`.
+    """
+    n = len(program.instrs)
+    chain = list(runlen)
+    #: pc -> (branch_target, fallthrough) successor pcs, unit-terminal only
+    succ: dict[int, tuple] = {}
+    for start, end, has_branch in spans:
+        if not has_branch:
+            continue
+        branch = program.instrs[end - 1]
+        if branch.op is Op.JMP:
+            succs = (branch.imm,)
+        else:
+            succs = (branch.imm, end)
+        for s in range(start, end):
+            succ[s] = succs
+    for _ in range(8):  # doubles per pass; reaches the cap for loops
+        changed = False
+        for s, succs in succ.items():
+            tail = min(
+                (chain[x] if 0 <= x < n else 0) for x in succs
+            )
+            new = runlen[s] + tail
+            if new > CONTINUATION_CAP:
+                new = CONTINUATION_CAP
+            if new > chain[s]:
+                chain[s] = new
+                changed = True
+        if not changed:
+            break
+    return chain
+
+
+def compile_blocks(program: Program) -> tuple[list, list, list]:
+    """The (cached) ``(runlen, units, dispatch)`` tables for a program.
+
+    ``runlen[pc]`` is the instruction count of the fused suffix
+    starting at ``pc`` (0 when the instruction at ``pc`` is impure and
+    must go through its threaded-code handler).  ``units[pc]`` is the
+    matching superinstruction closure (None where ``runlen`` is 0).
+    ``dispatch[pc]`` is the single-probe fast table the compiled step
+    indexes first: None where a multi-slot continuation must be
+    started, and the plain threaded-code handler everywhere else
+    (impure pcs, lone instructions, and fused regions too short to
+    amortize a continuation -- :data:`FUSE_MIN`).
+    """
+    from repro.core.cpu import compile_program
+
+    key = program.instrs
+    cached = _CBLOCKS.get(key)
+    if cached is None:
+        handlers = compile_program(program)
+        n = len(program.instrs)
+        runlen = [0] * n
+        units: list = [None] * n
+        dispatch: list = list(handlers)
+        spans = block_spans(program)
+        for start, end, has_branch in spans:
+            for s, fn in _gen_units(program, start, end, has_branch).items():
+                runlen[s] = end - s
+                units[s] = fn
+        chain = _chain_lengths(program, runlen, spans)
+        for s in range(n):
+            if runlen[s] >= 2 and chain[s] >= FUSE_MIN:
+                dispatch[s] = None  # start a continuation
+            # every other pc (impure, short fused region, lone
+            # instruction) keeps its threaded-code handler: measured
+            # per-slot cost there is exactly the event engine's
+        cached = (runlen, units, dispatch)
+        _CBLOCKS[key] = cached
+    return cached

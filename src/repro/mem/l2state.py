@@ -15,9 +15,14 @@ from dataclasses import dataclass, field
 from repro.soc.address import AddressMap, WORDS_PER_LINE
 
 
-@dataclass
+@dataclass(slots=True)
 class L2Line:
-    """One cache line's architected content."""
+    """One cache line's architected content.
+
+    Slotted: the functional L2 model's lookup scans these objects on
+    every request, and slot loads are measurably cheaper than instance
+    dict lookups on that path.
+    """
 
     valid: bool = False
     dirty: bool = False

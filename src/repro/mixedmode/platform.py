@@ -210,14 +210,13 @@ def compute_golden(
     cf = cosim.snapshot_interval
     watchdog = machine.config.watchdog_cycles
     cap = machine.config.max_cycles
-    step = machine.step
-    # first cf multiple strictly after the entry cycle (machines usually
-    # enter at cycle 0, but compute_golden accepts any starting point)
-    next_ckpt = (
-        machine.cycle + cf - machine.cycle % cf if chain is not None else None
-    )
+    # Advance checkpoint-to-checkpoint via Machine.advance_until: the
+    # O(1) termination checks run between chunks (the early-stop cycle
+    # is exact, so successful runs are bit-identical to per-cycle
+    # stepping) and the event/compiled engines keep their idle hops.
+    # The watchdog bound caps each chunk so a hung run still raises at
+    # the same cycle the per-cycle loop would have.
     while True:
-        # O(1) per-cycle checks (counter-backed; == all_halted/any_trap)
         if machine._live_threads == 0:
             break
         if machine._trapped_threads:
@@ -226,11 +225,17 @@ def compute_golden(
             raise RuntimeError("golden run exceeded the cycle cap")
         if machine.cycle - machine._last_retire_cycle > watchdog:
             raise RuntimeError("golden run hung")
-        step()
-        if next_ckpt is not None and machine.cycle >= next_ckpt:
-            if machine.cycle % cf == 0:
+        target = machine._last_retire_cycle + watchdog + 1
+        if cap < target:
+            target = cap
+        if chain is not None:
+            # first cf multiple strictly after the current cycle
+            next_ckpt = machine.cycle + cf - machine.cycle % cf
+            if next_ckpt < target:
+                target = next_ckpt
+        if machine.advance_until(target):
+            if chain is not None and machine.cycle % cf == 0:
                 chain.checkpoint()
-            next_ckpt = machine.cycle + cf - (machine.cycle % cf)
     if chain is not None:
         chain.finalize()
     window = machine.pcie.transfer_window() if want_pcie_window else None
@@ -484,14 +489,20 @@ class MixedModePlatform:
         """
         machine = self.machine
         end = machine.cycle + steps
-        while machine.cycle < end:
-            due = live.next_active_cycle()
-            if due is None or due >= end:
-                machine.run_until_cycle(end)
-                return
-            if due > machine.cycle:
-                machine.run_until_cycle(due)
-            live.fire(adapter, machine.cycle)
+        # while the fault is held, the compiled engine must single-step
+        # (no in-flight superinstructions while fault state is live)
+        machine.hold_live_fault(True)
+        try:
+            while machine.cycle < end:
+                due = live.next_active_cycle()
+                if due is None or due >= end:
+                    machine.run_until_cycle(end)
+                    return
+                if due > machine.cycle:
+                    machine.run_until_cycle(due)
+                live.fire(adapter, machine.cycle)
+        finally:
+            machine.hold_live_fault(False)
 
     # ------------------------------------------------------------------
     def _attach_quiesced(self, component: str, instance: int) -> CosimAdapterBase:

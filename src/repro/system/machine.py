@@ -8,7 +8,7 @@ component in or out must call :meth:`Machine.uncore_changed`** so the
 event-driven engine reschedules it (the shipped adapters and QRR servers
 do).
 
-Two cycle engines share identical observable behaviour:
+Three cycle engines share identical observable behaviour:
 
 * ``engine="event"`` (default) -- an activity-tracked, event-driven
   stepper.  Each high-level uncore component reports its next-active
@@ -17,6 +17,13 @@ Two cycle engines share identical observable behaviour:
   whole idle stretches (all uncore quiescent, no core issuable) in one
   hop.  Components without the protocol (RTL co-simulation adapters,
   QRR servers) are conservatively ticked every cycle.
+* ``engine="compiled"`` -- the event engine plus the basic-block
+  superinstruction core path (:mod:`repro.core.blocks`): straight-line
+  instruction runs execute as one fused closure spread over their
+  issue slots, falling back to threaded code at trap/branch/contention
+  boundaries and while a live fault is held
+  (:meth:`Machine.hold_live_fault`).  The fastest engine for long
+  golden/replay phases.
 * ``engine="reference"`` -- the original everything-every-cycle stepper,
   kept as the differential-testing and benchmarking baseline.
 
@@ -51,7 +58,7 @@ from repro.uncore.highlevel.pcie import HighLevelPcieDma
 from repro.workloads.base import WorkloadImage
 
 #: Engines understood by :class:`Machine`.
-ENGINES = ("event", "reference")
+ENGINES = ("event", "reference", "compiled")
 
 #: The engine used when none is requested.
 DEFAULT_ENGINE = "event"
@@ -126,6 +133,7 @@ class Machine:
         self.config = config
         self.engine = engine
         self._reference = engine == "reference"
+        self._compiled = engine == "compiled"
         self.amap = AddressMap(
             l2_banks=config.l2_banks, l2_sets=config.l2_sets, mcus=config.mcus
         )
@@ -160,11 +168,17 @@ class Machine:
                 check_addr=self._check_addr,
                 write_output=self._write_output,
                 alloc_reqid=self._alloc_reqid,
+                compiled=self._compiled,
             )
             for i in range(config.cores)
         ]
+        #: machine-wide armed-autopilot core count, aliased into every
+        #: core so the run loops can skip the per-core autopilot checks
+        #: entirely while nothing is armed
+        self._auto_count = [0]
         for core in self.cores:
             core.on_thread_stop = self._thread_stopped
+            core._auto_count = self._auto_count
         self.l2states: list[L2BankState] = [
             L2BankState(b, self.amap, ways=config.l2_ways)
             for b in range(config.l2_banks)
@@ -210,9 +224,12 @@ class Machine:
         self._dirty_pcie = True
         self._refresh_wakes()
         # per-instance dispatch: step() callers skip the engine branch
-        self.step = (
-            self._step_reference if self._reference else self._step_event
-        )
+        if self._reference:
+            self.step = self._step_reference
+        elif self._compiled:
+            self.step = self._step_event_compiled
+        else:
+            self.step = self._step_event
 
     # ------------------------------------------------------------------
     # Services wired into cores / uncore models
@@ -323,6 +340,15 @@ class Machine:
         self._nac_banks = [self._probe_of(bank) for bank in self.l2banks]
         self._nac_mcus = [self._probe_of(mcu) for mcu in self.mcus]
         self._nac_pcie = self._probe_of(self.pcie)
+        # dense-activity short-circuit: for the stock high-level models
+        # the next-active probe is inlined into the step loop (their
+        # wake rule is a queue-head read), so a busy component costs no
+        # method call per cycle.  Swapped-in components of any other
+        # type (RTL adapters, QRR servers, test doubles) keep the
+        # next_active_cycle protocol -- exact type match only.
+        self._ccx_stock = type(self.ccx) is HighLevelCcx
+        self._bank_stock = [type(b) is HighLevelL2Bank for b in self.l2banks]
+        self._mcu_stock = [type(m) is HighLevelMcu for m in self.mcus]
         #: fixed crossbar latency when known (None: probe every send)
         self._ccx_latency = (
             getattr(self.ccx, "latency", None)
@@ -352,6 +378,134 @@ class Machine:
         if self._mcus_wake_min < wake:
             wake = self._mcus_wake_min
         self._uncore_wake = wake
+
+    def _settle_cores(self) -> None:
+        """Pay outstanding autopilot debt at a cycle boundary (the
+        current cycle's issue stage has not run yet)."""
+        through = self.cycle - 1
+        for core in self.cores:
+            if core._auto_until:
+                core._auto_settle(through)
+
+    def hold_live_fault(self, held: bool) -> None:
+        """Assert/release the live-fault hold on the compiled engine.
+
+        While a live fault (stuck-at, intermittent) is held, the fault
+        model re-asserts corrupted state on its own schedule, so the
+        platform forces the compiled cores to single-step through the
+        threaded-code path: in-flight superinstructions are flushed and
+        block entries de-optimize until the hold is released.  The
+        event and reference engines are unaffected (no-op for them);
+        observable behaviour is identical either way -- this keeps the
+        "one instruction per issue slot" execution literal while fault
+        state is live.
+        """
+        if held and self._compiled:
+            self._settle_cores()
+        for core in self.cores:
+            core._compiled_hold = held
+            if held and core._compiled:
+                core.flush_compiled()
+
+    def advance_until(self, target: int) -> bool:
+        """Advance to absolute cycle ``target`` with exact early stop.
+
+        Like :meth:`run_until_cycle`, but stops at the precise cycle at
+        which every thread has halted/trapped (checked per advanced
+        cycle, like the run loops).  Returns False on such an early
+        stop.  Used by golden-run drivers to step checkpoint-to-
+        checkpoint while keeping the event/compiled engines' idle hops.
+        """
+        if self._reference:
+            while self.cycle < target:
+                if self._live_threads == 0 or self._trapped_threads:
+                    return False
+                self.step()
+            return True
+        cores = self.cores
+        compiled = self._compiled
+        auto_count = self._auto_count
+        while self.cycle < target:
+            if self._live_threads == 0 or self._trapped_threads:
+                return False
+            cycle = self.cycle
+            retired = 0
+            active = False
+            n_auto = 0
+            if compiled:
+                if auto_count[0]:
+                    for core in cores:
+                        if cycle < core._auto_until:
+                            n_auto += 1
+                        elif core._num_ready or core._num_atomic_wait:
+                            active = True
+                            if core.step(cycle):
+                                retired += 1
+                    retired += n_auto
+                else:
+                    for core in cores:
+                        thread = core._head_debt
+                        if thread is not None:
+                            # head thread is paying continuation debt:
+                            # apply the slot inline (no step call)
+                            owed = thread.owed - 1
+                            thread.owed = owed
+                            if not owed:
+                                core._debt -= 1
+                            core.dirty = True
+                            idx = core._rr + 1
+                            if idx == core._nt:
+                                idx = 0
+                            core._rr = idx
+                            nh = core.threads[idx]
+                            core._head_debt = nh if nh.owed else None
+                            active = True
+                            retired += 1
+                        elif core._num_ready or core._num_atomic_wait:
+                            active = True
+                            if core.step(cycle):
+                                retired += 1
+            else:
+                for core in cores:
+                    if core._num_ready or core._num_atomic_wait:
+                        active = True
+                        if core.step(cycle):
+                            retired += 1
+            if retired:
+                self.retired_total += retired
+                self._last_retire_cycle = cycle
+            if self._uncore_wake <= cycle:
+                self._step_uncore(cycle)
+                self.cycle = cycle + 1
+                self.cycles_advanced += 1
+            elif active:
+                self.cycle = cycle + 1
+                self.cycles_advanced += 1
+            elif n_auto:
+                nxt = self._uncore_wake
+                for core in cores:
+                    au = core._auto_until
+                    if au and au < nxt:
+                        nxt = au
+                if nxt > target:
+                    nxt = target
+                if nxt <= cycle:
+                    nxt = cycle + 1
+                jump = nxt - cycle
+                if jump > 1:
+                    self.retired_total += n_auto * (jump - 1)
+                    self._last_retire_cycle = nxt - 1
+                self.cycles_advanced += jump
+                self.cycle = nxt
+            else:
+                nxt = self._uncore_wake
+                if nxt > target:
+                    nxt = target
+                if nxt <= cycle:
+                    nxt = cycle + 1
+                self.cycles_advanced += nxt - cycle
+                self.cycle = nxt
+        return True
 
     def uncore_changed(self) -> None:
         """Reschedule after an uncore component swap.
@@ -477,6 +631,46 @@ class Machine:
         self.cycle = cycle + 1
         self.cycles_advanced += 1
 
+    def _step_event_compiled(self) -> None:
+        """Event stepper with the compiled cores' fast slot paths: a
+        debt-paying head thread is handled inline (no step call), and a
+        core on autopilot retires this cycle without being touched."""
+        cycle = self.cycle
+        retired = 0
+        if self._auto_count[0]:
+            for core in self.cores:
+                if cycle < core._auto_until:
+                    retired += 1
+                elif core._num_ready or core._num_atomic_wait:
+                    if core.step(cycle):
+                        retired += 1
+        else:
+            for core in self.cores:
+                thread = core._head_debt
+                if thread is not None:
+                    owed = thread.owed - 1
+                    thread.owed = owed
+                    if not owed:
+                        core._debt -= 1
+                    core.dirty = True
+                    idx = core._rr + 1
+                    if idx == core._nt:
+                        idx = 0
+                    core._rr = idx
+                    nh = core.threads[idx]
+                    core._head_debt = nh if nh.owed else None
+                    retired += 1
+                elif core._num_ready or core._num_atomic_wait:
+                    if core.step(cycle):
+                        retired += 1
+        if retired:
+            self.retired_total += retired
+            self._last_retire_cycle = cycle
+        if self._uncore_wake <= cycle:
+            self._step_uncore(cycle)
+        self.cycle = cycle + 1
+        self.cycles_advanced += 1
+
     def _step_uncore(self, cycle: int) -> None:
         """Tick every due uncore component, preserving the reference
         stage order (crossbar -> banks -> MCUs -> CPX delivery -> PCIe).
@@ -484,20 +678,66 @@ class Machine:
         Skipped components are provably no-ops this cycle: their
         :meth:`next_active_cycle` is in the future and nothing has been
         pushed at them since it was computed.
+
+        Dense-activity short-circuit: for the stock high-level models
+        the per-component reschedule is inlined (their wake rule is a
+        queue-head read), a just-delivered PCX packet is accepted
+        straight into the bank's input queue when its ingress FIFO is
+        empty (identical queue content at tick time), and the stock
+        crossbar's no-op ``tick`` is skipped -- so when every component
+        is busy every cycle the active-set bookkeeping costs almost
+        nothing over the reference stepper.
         """
         ccx = self.ccx
         wake_banks = self._wake_banks
         ccx_due = self._wake_ccx <= cycle
+        ccx_stock = self._ccx_stock
         if ccx_due:
-            ccx.tick(cycle)
-            for bank, pkt in ccx.deliver_pcx(cycle):
-                self._bank_ingress[bank].append(pkt)
-                if wake_banks[bank] > cycle:
-                    wake_banks[bank] = cycle
-                if self._banks_wake_min > cycle:
-                    self._banks_wake_min = cycle
+            if ccx_stock:
+                # inlined HighLevelCcx.deliver_pcx: pop due packets
+                # straight into the banks (counter kept in sync)
+                pcxq = ccx._pcx
+                if pcxq and pcxq[0][0] <= cycle:
+                    banks = self.l2banks
+                    bank_stock = self._bank_stock
+                    bank_ingress = self._bank_ingress
+                    delivered = 0
+                    while pcxq and pcxq[0][0] <= cycle:
+                        _ready, bank, pkt = pcxq.popleft()
+                        delivered += 1
+                        ingress = bank_ingress[bank]
+                        if (
+                            ingress
+                            or not bank_stock[bank]
+                            or not banks[bank].accept(pkt, cycle)
+                        ):
+                            ingress.append(pkt)
+                        if wake_banks[bank] > cycle:
+                            wake_banks[bank] = cycle
+                    ccx.pcx_delivered += delivered
+                    if self._banks_wake_min > cycle:
+                        self._banks_wake_min = cycle
+            else:
+                ccx.tick(cycle)
+                deliveries = ccx.deliver_pcx(cycle)
+                if deliveries:
+                    banks = self.l2banks
+                    bank_stock = self._bank_stock
+                    for bank, pkt in deliveries:
+                        ingress = self._bank_ingress[bank]
+                        if (
+                            ingress
+                            or not bank_stock[bank]
+                            or not banks[bank].accept(pkt, cycle)
+                        ):
+                            ingress.append(pkt)
+                        if wake_banks[bank] > cycle:
+                            wake_banks[bank] = cycle
+                    if self._banks_wake_min > cycle:
+                        self._banks_wake_min = cycle
         if self._banks_wake_min <= cycle:
             banks = self.l2banks
+            bank_stock = self._bank_stock
             dirty_banks = self._dirty_banks
             banks_min = _NEVER
             for bank_idx in range(len(banks)):
@@ -524,6 +764,23 @@ class Machine:
                         self._wake_ccx = wake
                 if ingress:
                     wake = cycle + 1
+                elif bank_stock[bank_idx]:
+                    # inlined HighLevelL2Bank.next_active_cycle
+                    if server._waiting_fill is not None:
+                        wake = (
+                            cycle + 1
+                            if server._fill_data is not None
+                            else _NEVER
+                        )
+                    elif server._queue:
+                        wake = cycle + 1
+                    else:
+                        wake = _NEVER
+                    out = server._out
+                    if out:
+                        ready = out[0][0]
+                        if ready < wake:
+                            wake = ready
                 else:
                     probe = self._nac_banks[bank_idx]
                     wake = _ALWAYS if probe is None else probe()
@@ -536,6 +793,7 @@ class Machine:
         if self._mcus_wake_min <= cycle:
             wake_mcus = self._wake_mcus
             mcus = self.mcus
+            mcu_stock = self._mcu_stock
             mcus_min = _NEVER
             for mcu_idx in range(len(mcus)):
                 wake = wake_mcus[mcu_idx]
@@ -553,6 +811,10 @@ class Machine:
                 mcu.tick(cycle)
                 if ingress:
                     wake = cycle + 1
+                elif mcu_stock[mcu_idx]:
+                    # inlined HighLevelMcu.next_active_cycle
+                    queue = mcu._queue
+                    wake = queue[0][0] if queue else _NEVER
                 else:
                     probe = self._nac_mcus[mcu_idx]
                     wake = _ALWAYS if probe is None else probe()
@@ -566,18 +828,67 @@ class Machine:
             cores = self.cores
             ncores = len(cores)
             watch = self.corrupt_watch
-            for cpx in ccx.deliver_cpx(cycle):
-                if watch and self.corrupt_read_cycle is None:
+            if ccx_stock:
+                # inlined HighLevelCcx.deliver_cpx (counter kept in sync)
+                cpxq = ccx._cpx
+                delivered = 0
+                while cpxq and cpxq[0][0] <= cycle:
+                    cpx = cpxq.popleft()[1]
+                    delivered += 1
                     ctype = cpx.ctype
-                    if (cpx.addr & ~7) in watch and (
-                        ctype is CpxType.LOAD_RET or ctype is CpxType.ATOMIC_RET
-                    ):
-                        self.corrupt_read_cycle = cycle
-                if 0 <= cpx.core < ncores:
-                    cores[cpx.core].deliver_cpx(cpx)
-            probe = self._nac_ccx
-            wake = _ALWAYS if probe is None else probe()
-            self._wake_ccx = _NEVER if wake is None else wake
+                    if watch and self.corrupt_read_cycle is None:
+                        if (cpx.addr & ~7) in watch and (
+                            ctype is CpxType.LOAD_RET
+                            or ctype is CpxType.ATOMIC_RET
+                        ):
+                            self.corrupt_read_cycle = cycle
+                    if 0 <= cpx.core < ncores:
+                        core = cores[cpx.core]
+                        if core._auto_until and (
+                            ctype is not CpxType.STORE_ACK
+                            and ctype is not CpxType.INVALIDATE
+                        ):
+                            # a completion may wake a waiting thread and
+                            # change the issue schedule: pay the
+                            # autopilot debt through this cycle (its
+                            # issue stage already ran) before the
+                            # effects land.  STORE_ACK and INVALIDATE
+                            # cannot change the issuable set (credits
+                            # feed lazy atomic conversion, which blocks
+                            # arming; L1 state is invisible to debt
+                            # slots), so the window holds.
+                            core._auto_settle(cycle)
+                        core.deliver_cpx(cpx)
+                if delivered:
+                    ccx.cpx_delivered += delivered
+                # inlined HighLevelCcx.next_active_cycle
+                pcx = ccx._pcx
+                wake = pcx[0][0] if pcx else _NEVER
+                if cpxq:
+                    ready = cpxq[0][0]
+                    if ready < wake:
+                        wake = ready
+                self._wake_ccx = wake
+            else:
+                for cpx in ccx.deliver_cpx(cycle):
+                    ctype = cpx.ctype
+                    if watch and self.corrupt_read_cycle is None:
+                        if (cpx.addr & ~7) in watch and (
+                            ctype is CpxType.LOAD_RET
+                            or ctype is CpxType.ATOMIC_RET
+                        ):
+                            self.corrupt_read_cycle = cycle
+                    if 0 <= cpx.core < ncores:
+                        core = cores[cpx.core]
+                        if core._auto_until and (
+                            ctype is not CpxType.STORE_ACK
+                            and ctype is not CpxType.INVALIDATE
+                        ):
+                            core._auto_settle(cycle)
+                        core.deliver_cpx(cpx)
+                probe = self._nac_ccx
+                wake = _ALWAYS if probe is None else probe()
+                self._wake_ccx = _NEVER if wake is None else wake
         if self._wake_pcie <= cycle:
             self._dirty_pcie = True
             self.pcie.tick(cycle)
@@ -706,6 +1017,8 @@ class Machine:
             cap = min(cap, hang_factor_cycles)
         watchdog = self.config.watchdog_cycles
         cores = self.cores
+        compiled = self._compiled
+        auto_count = self._auto_count
         while True:
             if self._trapped_threads:
                 return RunResult(
@@ -734,11 +1047,46 @@ class Machine:
                 )
             retired = 0
             active = False
-            for core in cores:
-                if core._num_ready or core._num_atomic_wait:
-                    active = True
-                    if core.step(cycle):
-                        retired += 1
+            n_auto = 0
+            if compiled:
+                if auto_count[0]:
+                    for core in cores:
+                        if cycle < core._auto_until:
+                            n_auto += 1
+                        elif core._num_ready or core._num_atomic_wait:
+                            active = True
+                            if core.step(cycle):
+                                retired += 1
+                    retired += n_auto
+                else:
+                    for core in cores:
+                        thread = core._head_debt
+                        if thread is not None:
+                            # head thread is paying continuation debt:
+                            # apply the slot inline (no step call)
+                            owed = thread.owed - 1
+                            thread.owed = owed
+                            if not owed:
+                                core._debt -= 1
+                            core.dirty = True
+                            idx = core._rr + 1
+                            if idx == core._nt:
+                                idx = 0
+                            core._rr = idx
+                            nh = core.threads[idx]
+                            core._head_debt = nh if nh.owed else None
+                            active = True
+                            retired += 1
+                        elif core._num_ready or core._num_atomic_wait:
+                            active = True
+                            if core.step(cycle):
+                                retired += 1
+            else:
+                for core in cores:
+                    if core._num_ready or core._num_atomic_wait:
+                        active = True
+                        if core.step(cycle):
+                            retired += 1
             if retired:
                 self.retired_total += retired
                 self._last_retire_cycle = cycle
@@ -749,6 +1097,27 @@ class Machine:
             elif active:
                 self.cycle = cycle + 1
                 self.cycles_advanced += 1
+            elif n_auto:
+                # every active core is paying autopilot debt: jump to
+                # the next schedule event (first debt expiry, uncore
+                # wake or the cap), accounting one retirement per core
+                # per skipped cycle -- exactly what per-cycle stepping
+                # would have recorded
+                target = self._uncore_wake
+                for core in cores:
+                    au = core._auto_until
+                    if au and au < target:
+                        target = au
+                if cap < target:
+                    target = cap
+                if target <= cycle:
+                    target = cycle + 1
+                jump = target - cycle
+                if jump > 1:
+                    self.retired_total += n_auto * (jump - 1)
+                    self._last_retire_cycle = target - 1
+                self.cycles_advanced += jump
+                self.cycle = target
             else:
                 # idle stretch: nothing can change until the uncore's
                 # next event, the watchdog limit or the cap -- the
@@ -796,15 +1165,52 @@ class Machine:
                 self.step()
             return
         cores = self.cores
+        compiled = self._compiled
+        auto_count = self._auto_count
         while self.cycle < target:
             cycle = self.cycle
             retired = 0
             active = False
-            for core in cores:
-                if core._num_ready or core._num_atomic_wait:
-                    active = True
-                    if core.step(cycle):
-                        retired += 1
+            n_auto = 0
+            if compiled:
+                if auto_count[0]:
+                    for core in cores:
+                        if cycle < core._auto_until:
+                            n_auto += 1
+                        elif core._num_ready or core._num_atomic_wait:
+                            active = True
+                            if core.step(cycle):
+                                retired += 1
+                    retired += n_auto
+                else:
+                    for core in cores:
+                        thread = core._head_debt
+                        if thread is not None:
+                            # head thread is paying continuation debt:
+                            # apply the slot inline (no step call)
+                            owed = thread.owed - 1
+                            thread.owed = owed
+                            if not owed:
+                                core._debt -= 1
+                            core.dirty = True
+                            idx = core._rr + 1
+                            if idx == core._nt:
+                                idx = 0
+                            core._rr = idx
+                            nh = core.threads[idx]
+                            core._head_debt = nh if nh.owed else None
+                            active = True
+                            retired += 1
+                        elif core._num_ready or core._num_atomic_wait:
+                            active = True
+                            if core.step(cycle):
+                                retired += 1
+            else:
+                for core in cores:
+                    if core._num_ready or core._num_atomic_wait:
+                        active = True
+                        if core.step(cycle):
+                            retired += 1
             if retired:
                 self.retired_total += retired
                 self._last_retire_cycle = cycle
@@ -815,6 +1221,22 @@ class Machine:
             elif active:
                 self.cycle = cycle + 1
                 self.cycles_advanced += 1
+            elif n_auto:
+                nxt = self._uncore_wake
+                for core in cores:
+                    au = core._auto_until
+                    if au and au < nxt:
+                        nxt = au
+                if nxt > target:
+                    nxt = target
+                if nxt <= cycle:
+                    nxt = cycle + 1
+                jump = nxt - cycle
+                if jump > 1:
+                    self.retired_total += n_auto * (jump - 1)
+                    self._last_retire_cycle = nxt - 1
+                self.cycles_advanced += jump
+                self.cycle = nxt
             else:
                 nxt = self._uncore_wake
                 if nxt > target:
@@ -838,6 +1260,8 @@ class Machine:
     # Snapshots (the platform's periodic checkpoints, Sec. 2.2 phase 1)
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
+        if self._compiled:
+            self._settle_cores()
         return {
             "cycle": self.cycle,
             "dram": self.dram.snapshot(),
@@ -924,6 +1348,8 @@ class Machine:
         """
         if not self._delta_tracking:
             raise RuntimeError("delta_capture_begin() was not called")
+        if self._compiled:
+            self._settle_cores()
         all_dirty = self._reference
         store_dirty = self._store_log_dirty
         last_store = self.last_store_cycle

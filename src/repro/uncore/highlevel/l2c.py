@@ -129,25 +129,34 @@ class HighLevelL2Bank:
                 self._install_and_complete(pkt, self._fill_data, cycle)
                 self._waiting_fill = None
                 self._fill_data = None
-        # 2. otherwise process the queue head
-        elif self._queue:
-            pkt = self._queue[0]
-            hit = self.state.lookup(pkt.addr)
-            if hit is not None:
-                self._queue.popleft()
-                self.hits += 1
-                self._complete(pkt, hit, cycle)
-            else:
-                self._queue.popleft()
-                self.misses += 1
-                tag = self._next_tag
-                self._next_tag = (self._next_tag + 1) & 0xFFFF
-                self.send_mcu(
-                    McuRequest(
-                        McuOp.READ, self.amap.line_addr(pkt.addr), None, self.bank, tag
+        # 2. otherwise process the queue head (lookup inlined: this is
+        #    the hottest uncore leaf in the repository)
+        else:
+            queue = self._queue
+            if queue:
+                pkt = queue.popleft()
+                addr = pkt.addr
+                amap = self.amap
+                set_idx = (addr >> amap._set_shift) & amap._set_mask
+                tag = addr >> amap._tag_shift
+                hit_way = None
+                for way, line in enumerate(self.state.lines[set_idx]):
+                    if line.valid and line.tag == tag:
+                        hit_way = way
+                        break
+                if hit_way is not None:
+                    self.hits += 1
+                    self._complete(pkt, (set_idx, hit_way), cycle)
+                else:
+                    self.misses += 1
+                    tag = self._next_tag
+                    self._next_tag = (self._next_tag + 1) & 0xFFFF
+                    self.send_mcu(
+                        McuRequest(
+                            McuOp.READ, addr & ~63, None, self.bank, tag
+                        )
                     )
-                )
-                self._waiting_fill = (pkt, tag)
+                    self._waiting_fill = (pkt, tag)
         # 3. release CPX packets whose latency elapsed
         out = self._out
         if not out or out[0][0] > cycle:
@@ -243,59 +252,67 @@ class HighLevelL2Bank:
         loc: tuple[int, int],
         cycle: int,
         was_miss: bool = False,
+        _LOAD=PcxType.LOAD,
+        _STORE=PcxType.STORE,
+        _TAS=PcxType.ATOMIC_TAS,
+        _ADD=PcxType.ATOMIC_ADD,
     ) -> None:
         set_idx, way = loc
         line = self.state.lines[set_idx][way]
         addr = pkt.addr
         word = (addr & 63) >> 3
-        line_addr = addr & ~63
-        extra = 0 if not was_miss else 0  # MCU latency already elapsed
-        if pkt.ptype is PcxType.LOAD or pkt.ptype is PcxType.IFETCH:
-            line.directory |= 1 << pkt.core
-            ctype = (
-                CpxType.LOAD_RET if pkt.ptype is PcxType.LOAD else CpxType.IFETCH_RET
+        ptype = pkt.ptype
+        core = pkt.core
+        ready = cycle + HIT_LATENCY  # MCU latency (if any) already elapsed
+        if ptype is _LOAD or ptype is PcxType.IFETCH:
+            line.directory |= 1 << core
+            ctype = CpxType.LOAD_RET if ptype is _LOAD else CpxType.IFETCH_RET
+            self._out.append(
+                (
+                    ready,
+                    CpxPacket(
+                        ctype, core, pkt.thread, addr, line.data[word], pkt.reqid
+                    ),
+                )
             )
-            self._emit(
-                cycle,
-                CpxPacket(ctype, pkt.core, pkt.thread, pkt.addr, line.data[word], pkt.reqid),
-                extra,
-            )
-        elif pkt.ptype is PcxType.STORE:
-            self._invalidate_directory(line, line_addr, cycle, keep_core=pkt.core)
+        elif ptype is _STORE:
+            self._invalidate_directory(line, addr & ~63, cycle, keep_core=core)
             line.data[word] = pkt.data
             line.dirty = True
-            line.directory = 1 << pkt.core
+            line.directory = 1 << core
             if self.log_store is not None:
-                self.log_store(pkt.addr & ~7, cycle)
-            self._emit(
-                cycle,
-                CpxPacket(
-                    CpxType.STORE_ACK, pkt.core, pkt.thread, pkt.addr, 0, pkt.reqid
-                ),
-                extra,
+                self.log_store(addr & ~7, cycle)
+            self._out.append(
+                (
+                    ready,
+                    CpxPacket(
+                        CpxType.STORE_ACK, core, pkt.thread, addr, 0, pkt.reqid
+                    ),
+                )
             )
-        elif pkt.ptype is PcxType.ATOMIC_TAS or pkt.ptype is PcxType.ATOMIC_ADD:
+        elif ptype is _TAS or ptype is _ADD:
             old = line.data[word]
-            if pkt.ptype is PcxType.ATOMIC_ADD and pkt.data == 0:
+            if ptype is _ADD and pkt.data == 0:
                 # fetch-and-add of zero is a pure atomic read: no array
                 # write, no dirtying, no invalidation traffic
                 pass
             else:
-                self._invalidate_directory(line, line_addr, cycle)
-                if pkt.ptype is PcxType.ATOMIC_TAS:
+                self._invalidate_directory(line, addr & ~63, cycle)
+                if ptype is _TAS:
                     line.data[word] = 1
                 else:
                     line.data[word] = (old + pkt.data) & ((1 << 64) - 1)
                 line.dirty = True
                 line.directory = 0
                 if self.log_store is not None:
-                    self.log_store(pkt.addr & ~7, cycle)
-            self._emit(
-                cycle,
-                CpxPacket(
-                    CpxType.ATOMIC_RET, pkt.core, pkt.thread, pkt.addr, old, pkt.reqid
-                ),
-                extra,
+                    self.log_store(addr & ~7, cycle)
+            self._out.append(
+                (
+                    ready,
+                    CpxPacket(
+                        CpxType.ATOMIC_RET, core, pkt.thread, addr, old, pkt.reqid
+                    ),
+                )
             )
         else:  # pragma: no cover - all PcxTypes handled
             raise ValueError(f"unhandled packet type {pkt.ptype}")

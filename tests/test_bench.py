@@ -11,11 +11,14 @@ from repro.bench import (
 from repro.bench.harness import save_bench
 
 
-def _doc(golden_cps, injection_cps=50_000.0):
+def _doc(golden_cps, injection_cps=50_000.0, compiled_cps=None):
+    golden = {"event": {"cycles_per_sec": golden_cps}}
+    if compiled_cps is not None:
+        golden["compiled"] = {"cycles_per_sec": compiled_cps}
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "results": {
-            "golden": {"event": {"cycles_per_sec": golden_cps}},
+            "golden": golden,
             "injection": {"event": {"cycles_per_sec": injection_cps}},
         },
     }
@@ -37,31 +40,54 @@ class TestBaselineCheck:
     def test_missing_scenarios_are_ignored(self, tmp_path):
         base = tmp_path / "base.json"
         base.write_text(json.dumps(_doc(100_000.0)))
-        doc = {"schema_version": 1, "results": {}}
+        doc = {"schema_version": 2, "results": {}}
         assert check_against_baseline(doc, base, 0.30) == []
+
+    def test_compiled_engine_is_gated_too(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_doc(100_000.0, compiled_cps=150_000.0)))
+        doc = _doc(100_000.0, compiled_cps=90_000.0)
+        failures = check_against_baseline(doc, base, 0.30)
+        assert len(failures) == 1
+        assert "golden[compiled]" in failures[0]
 
 
 class TestHarness:
     def test_golden_scenario_produces_speedup_block(self, tmp_path):
         settings = BenchSettings(
-            repeats=1, scenarios=("golden",), engines=("event", "reference")
+            repeats=1,
+            scenarios=("golden",),
+            engines=("event", "reference", "compiled"),
         )
         doc = run_benches(settings)
+        assert doc["schema_version"] == 2
         entry = doc["results"]["golden"]
-        for engine in ("event", "reference"):
+        for engine in ("event", "reference", "compiled"):
             assert entry[engine]["cycles"] > 0
             assert entry[engine]["cycles_per_sec"] > 0
         assert entry["speedup_event_vs_reference"] > 0
+        assert entry["speedup_compiled_vs_reference"] > 0
+        assert entry["speedup_compiled_vs_event"] > 0
         # the golden scenario reports delta-chain storage statistics
         stats = entry["event"]["snapshot_storage"]
         assert stats["checkpoints"] >= 1
+        # schema v2: per-phase breakdown (core interp / uncore / snapshot);
+        # the reference engine inlines its uncore stage, so it has none
+        for engine in ("event", "compiled"):
+            phases = entry[engine]["phases"]
+            assert phases["total"] > 0
+            assert phases["core_interp"] >= 0
+            assert phases["uncore"] >= 0
+            assert phases["snapshot"] >= 0
+        assert "phases" not in entry["reference"]
         path = save_bench(doc, tmp_path / "BENCH_step.json")
         reread = json.loads(path.read_text())
         assert reread["results"]["golden"]["event"]["cycles"] == (
             entry["event"]["cycles"]
         )
-        # the two engines simulate the same number of cycles
+        # all engines simulate the same number of cycles
         assert entry["event"]["cycles"] == entry["reference"]["cycles"]
+        assert entry["event"]["cycles"] == entry["compiled"]["cycles"]
 
 
 class TestFaultOverheadGuard:
@@ -72,9 +98,16 @@ class TestFaultOverheadGuard:
         settings = BenchSettings(injections=2, repeats=2)
         guard = fault_overhead_guard(settings)
         assert guard["runs"] == 2
+        assert guard["engine"] == "event"
         assert guard["inline_seconds"] > 0
         assert guard["model_seconds"] > 0
         # sanity bound only -- the tight 5% gate runs in CI with a
         # larger sample (repro bench --fault-guard); a 2x2 wall-clock
         # sample here would flake on loaded runners
+        assert guard["overhead"] < 1.0
+
+    def test_guard_runs_on_compiled_engine(self):
+        settings = BenchSettings(injections=2, repeats=1)
+        guard = fault_overhead_guard(settings, engine="compiled")
+        assert guard["engine"] == "compiled"
         assert guard["overhead"] < 1.0

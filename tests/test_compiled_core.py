@@ -1,0 +1,224 @@
+"""Unit tests for the basic-block superinstruction compiler.
+
+The differential suite proves whole-machine bit-identity; these tests
+pin the compiler's building blocks directly: block-boundary metadata,
+superinstruction semantics against the threaded-code interpreter,
+continuation slot accounting, mid-debt flushes, and the live-fault
+de-optimization hold.
+"""
+
+import random
+
+import pytest
+
+from repro.core.blocks import CONTINUATION_CAP, compile_blocks
+from repro.core.cpu import Core, ThreadState
+from repro.core.isa import CONTROL_OPS, NUM_REGS, PURE_OPS, WORD_MASK, Op
+from repro.core.program import ProgramBuilder, block_spans
+
+
+def _pure_alu_program(seed: int, length: int = 40):
+    """A random straight-line pure program ending in HALT."""
+    rng = random.Random(seed)
+    b = ProgramBuilder(f"alu{seed}")
+    ops = sorted(PURE_OPS, key=lambda op: op.value)
+    for _ in range(length):
+        op = rng.choice(ops)
+        rd = rng.randrange(NUM_REGS)
+        ra = rng.randrange(NUM_REGS)
+        rb = rng.randrange(NUM_REGS)
+        imm = rng.randrange(-(1 << 16), 1 << 16)
+        b.emit(op, rd=rd, ra=ra, rb=rb, imm=imm)
+    b.halt()
+    return b.build()
+
+
+def _fresh_cores(program, threads=1):
+    """(reference core, compiled core) with identical initial state."""
+    cores = []
+    for compiled in (False, True):
+        core = Core(0, l1_words=64, compiled=compiled)
+        for t in range(threads):
+            thread = core.add_thread(program)
+            for r in range(1, NUM_REGS):
+                thread.regs[r] = (0x9E3779B97F4A7C15 * (t + r)) & WORD_MASK
+        cores.append(core)
+    return cores
+
+
+class TestBlockSpans:
+    def test_pure_run_with_trailing_branch(self):
+        b = ProgramBuilder("p")
+        loop = b.label("loop")
+        b.place(loop)
+        b.addi(1, 1, 1)  # 0
+        b.xor(2, 1, 3)   # 1
+        b.blt(1, 4, loop)  # 2
+        b.st(1, 5, 0)    # 3 (impure: ends any unit)
+        b.jmp(loop)      # 4 (lone branch is its own unit)
+        prog = b.build()
+        assert block_spans(prog) == [(0, 3, True), (4, 5, True)]
+
+    def test_impure_ops_never_join_units(self):
+        b = ProgramBuilder("q")
+        b.ldi(1, 7)
+        b.div(2, 1, 1)   # can trap: excluded
+        b.out(1, 2)      # output channel: excluded
+        b.assert_eq(1, 1)  # can trap: excluded
+        b.halt()
+        prog = b.build()
+        spans = block_spans(prog)
+        assert spans == [(0, 1, False)]
+        for op in (Op.DIV, Op.OUT, Op.ASSERT_EQ, Op.HALT):
+            assert op not in PURE_OPS and op not in CONTROL_OPS
+
+    def test_tables_cached_by_content(self):
+        b1 = ProgramBuilder("a")
+        b1.addi(1, 1, 1)
+        b1.addi(2, 2, 2)
+        b1.halt()
+        b2 = ProgramBuilder("b")
+        b2.addi(1, 1, 1)
+        b2.addi(2, 2, 2)
+        b2.halt()
+        assert compile_blocks(b1.build())[1] is compile_blocks(b2.build())[1]
+
+
+class TestSuperinstructionSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_pure_blocks_match_interpreter(self, seed):
+        """Fused execution must be bit-exact with the handlers for
+        random pure instruction soup (masking, r0 discards, shifts)."""
+        program = _pure_alu_program(seed)
+        ref, comp = _fresh_cores(program)
+        for cycle in range(len(program) + 4):
+            ref.step(cycle)
+            comp.step(cycle)
+        assert ref.snapshot() == comp.snapshot()
+
+    def test_branchy_loops_match_interpreter(self):
+        b = ProgramBuilder("loop")
+        b.ldi(1, 0)
+        b.ldi(2, 57)
+        loop = b.label("loop")
+        b.place(loop)
+        b.addi(1, 1, 3)
+        b.muli(3, 1, 7)
+        b.xori(3, 3, 0x55)
+        b.bne(1, 2, "skip")
+        b.addi(4, 4, 1)
+        b.place("skip")
+        b.cmplt(5, 1, 2)
+        b.bne(5, 0, loop)
+        b.halt()
+        program = b.build()
+        ref, comp = _fresh_cores(program)
+        for cycle in range(4000):
+            ref.step(cycle)
+            comp.step(cycle)
+            if ref.all_halted():
+                break
+        assert ref.all_halted() and comp.all_halted()
+        assert ref.snapshot() == comp.snapshot()
+
+    def test_multi_thread_round_robin_identical(self):
+        program = _pure_alu_program(99, length=30)
+        ref, comp = _fresh_cores(program, threads=3)
+        for cycle in range(120):
+            ref.step(cycle)
+            comp.step(cycle)
+        assert ref.snapshot() == comp.snapshot()
+
+
+class TestContinuationAccounting:
+    def test_every_slot_retires_once(self):
+        """The machine-visible slot/retire stream must match the
+        interpreter cycle for cycle, not just at the end."""
+        program = _pure_alu_program(3, length=25)
+        ref, comp = _fresh_cores(program)
+        for cycle in range(40):
+            assert ref.step(cycle) == comp.step(cycle), cycle
+
+    def test_mid_debt_flush_is_exact(self):
+        """Snapshot (which flushes) after every single cycle."""
+        program = _pure_alu_program(11, length=30)
+        ref, comp = _fresh_cores(program)
+        for cycle in range(45):
+            ref.step(cycle)
+            comp.step(cycle)
+            assert ref.snapshot() == comp.snapshot(), cycle
+
+    def test_continuation_cap_bounds_debt(self):
+        b = ProgramBuilder("spin")
+        loop = b.label("loop")
+        b.place(loop)
+        b.addi(1, 1, 1)
+        b.jmp(loop)  # infinite pure loop
+        program = b.build()
+        _, comp = _fresh_cores(program)
+        comp.step(0)
+        thread = comp.threads[0]
+        assert 0 < thread.owed_total <= CONTINUATION_CAP + 1
+
+    def test_compiled_hold_single_steps(self):
+        program = _pure_alu_program(5, length=20)
+        ref, comp = _fresh_cores(program)
+        comp._compiled_hold = True
+        for cycle in range(30):
+            ref.step(cycle)
+            comp.step(cycle)
+            assert comp.threads[0].owed == 0
+        assert ref.snapshot() == comp.snapshot()
+
+    def test_restore_clears_debt(self):
+        program = _pure_alu_program(7, length=30)
+        ref, comp = _fresh_cores(program)
+        ref.step(0)
+        comp.step(0)
+        snap = ref.snapshot()
+        comp.restore(snap)
+        assert comp.threads[0].owed == 0
+        assert comp.snapshot() == snap
+        # resume after restore stays identical
+        for cycle in range(1, 30):
+            ref.step(cycle)
+            comp.step(cycle)
+        assert ref.snapshot() == comp.snapshot()
+
+
+class TestTrapBoundaries:
+    def test_negative_branch_target_traps_like_interpreter(self):
+        """A wild negative branch target must stop the continuation
+        chain (no Python negative-index wraparound into the tables) and
+        trap BAD_PC at the exact slot the interpreter does."""
+        from repro.core.isa import Instr
+        from repro.core.program import Program
+
+        instrs = [
+            Instr(Op.ADDI, rd=1, ra=1, imm=1) for _ in range(8)
+        ] + [Instr(Op.JMP, imm=-2)]
+        program = Program("wild", tuple(instrs))
+        ref, comp = _fresh_cores(program)
+        for cycle in range(14):
+            ref.step(cycle)
+            comp.step(cycle)
+            assert (ref.any_trapped() is None) == (
+                comp.any_trapped() is None
+            ), cycle
+        assert comp.threads[0].state is ThreadState.TRAPPED
+        assert ref.snapshot() == comp.snapshot()
+
+    def test_bad_pc_after_fused_fallthrough(self):
+        """Falling off the end of a fused unit traps at the exact slot
+        the interpreter traps."""
+        b = ProgramBuilder("edge")
+        b.addi(1, 1, 1)
+        b.addi(2, 2, 2)  # program ends on a pure run: pc runs off the end
+        program = b.build()
+        ref, comp = _fresh_cores(program)
+        for cycle in range(6):
+            ref.step(cycle)
+            comp.step(cycle)
+            assert (ref.any_trapped() is None) == (comp.any_trapped() is None)
+        assert ref.snapshot() == comp.snapshot()
+        assert comp.threads[0].state is ThreadState.TRAPPED

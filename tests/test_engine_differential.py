@@ -1,20 +1,25 @@
-"""Differential tests: event-driven engine vs. the reference stepper.
+"""Differential tests: every cycle engine vs. the reference stepper.
 
-The event engine's whole contract is *bit-identical observables*: for
-any spec, every RunResult field, every canonical result byte and every
-snapshot must match what the original everything-every-cycle stepper
-produces.  These tests enforce that across all three experiment modes
-and several workloads/seeds.
+The event and compiled engines' whole contract is *bit-identical
+observables*: for any spec, every RunResult field, every canonical
+result byte and every snapshot must match what the original
+everything-every-cycle stepper produces.  These tests enforce that
+across all three engines, all experiment modes, several
+workloads/seeds, and a live-fault campaign (which pins the compiled
+engine's single-step de-optimization path).
 """
 
 import pytest
 
 from repro.api import ExperimentSpec, Session, dumps_canonical
 from repro.mixedmode.platform import MixedModePlatform
-from repro.system.machine import Machine, MachineConfig
+from repro.system.machine import ENGINES, Machine, MachineConfig
 from repro.workloads import build_workload
 
 CFG = MachineConfig(cores=4, threads_per_core=2, l2_banks=8, l2_sets=16)
+
+#: Engines checked against "reference".
+FAST_ENGINES = tuple(e for e in ENGINES if e != "reference")
 
 #: (benchmark, seed, scale) cells for the differential sweep.
 GOLDEN_CASES = [
@@ -25,15 +30,15 @@ GOLDEN_CASES = [
 ]
 
 
-def _machine_pair(benchmark, seed, scale):
+def _machines(benchmark, seed, scale, engines=ENGINES):
     image = build_workload(
         benchmark, threads=CFG.total_threads, scale=scale, seed=seed
     )
-    machines = []
-    for engine in ("reference", "event"):
+    machines = {}
+    for engine in engines:
         machine = Machine(CFG, engine=engine)
         machine.load_workload(image)
-        machines.append(machine)
+        machines[engine] = machine
     return machines
 
 
@@ -44,23 +49,31 @@ def _result_tuple(res):
 class TestGoldenRuns:
     @pytest.mark.parametrize("bench,seed,scale", GOLDEN_CASES)
     def test_run_identical(self, bench, seed, scale):
-        ref, evt = _machine_pair(bench, seed, scale)
-        r1, r2 = ref.run(), evt.run()
-        assert _result_tuple(r1) == _result_tuple(r2)
-        assert ref.snapshot() == evt.snapshot()
+        machines = _machines(bench, seed, scale)
+        results = {e: m.run() for e, m in machines.items()}
+        snaps = {e: m.snapshot() for e, m in machines.items()}
+        for engine in FAST_ENGINES:
+            assert _result_tuple(results[engine]) == _result_tuple(
+                results["reference"]
+            ), engine
+            assert snaps[engine] == snaps["reference"], engine
 
     def test_run_cycles_and_until_identical(self):
-        ref, evt = _machine_pair("fft", 1, 1 / 120_000)
-        ref.run_cycles(137)
-        evt.run_cycles(137)
-        assert ref.snapshot() == evt.snapshot()
-        ref.run_until_cycle(1009)
-        evt.run_until_cycle(1009)
-        assert ref.cycle == evt.cycle == 1009
-        assert ref.snapshot() == evt.snapshot()
+        machines = _machines("fft", 1, 1 / 120_000)
+        for m in machines.values():
+            m.run_cycles(137)
+        ref = machines["reference"].snapshot()
+        for engine in FAST_ENGINES:
+            assert machines[engine].snapshot() == ref, engine
+        for m in machines.values():
+            m.run_until_cycle(1009)
+        ref = machines["reference"].snapshot()
+        for engine in FAST_ENGINES:
+            assert machines[engine].cycle == 1009
+            assert machines[engine].snapshot() == ref, engine
 
     def test_hang_detection_identical(self):
-        """The event engine's idle hop must fire the watchdog at the
+        """The fast engines' idle hops must fire the watchdog at the
         exact cycle the reference stepper does."""
         from repro.core.program import ProgramBuilder
         from repro.workloads.base import WorkloadImage
@@ -78,13 +91,27 @@ class TestGoldenRuns:
             regions=[(0x10000, 0x1000, "globals")],
             init_words={lock: 1},
         )
-        results = []
-        for engine in ("reference", "event"):
+        results = {}
+        for engine in ENGINES:
             machine = Machine(CFG, engine=engine)
             machine.load_workload(image)
-            results.append(machine.run(max_cycles=500_000))
-        assert _result_tuple(results[0]) == _result_tuple(results[1])
-        assert results[0].hung
+            results[engine] = machine.run(max_cycles=500_000)
+        assert results["reference"].hung
+        for engine in FAST_ENGINES:
+            assert _result_tuple(results[engine]) == _result_tuple(
+                results["reference"]
+            ), engine
+
+    def test_mid_debt_snapshots_identical(self):
+        """Snapshots taken at arbitrary cycle boundaries must flush the
+        compiled engine's in-flight continuations exactly."""
+        machines = _machines("radi", 5, 1 / 120_000)
+        for target in (73, 74, 75, 211, 500, 1501):
+            for m in machines.values():
+                m.run_until_cycle(target)
+            ref = machines["reference"].snapshot()
+            for engine in FAST_ENGINES:
+                assert machines[engine].snapshot() == ref, (engine, target)
 
 
 class TestCampaignModes:
@@ -111,17 +138,62 @@ class TestCampaignModes:
             seed=seed,
             n=n,
         )
-        blobs = [
-            dumps_canonical(Session(engine=engine).run(spec).to_dict())
-            for engine in ("reference", "event")
-        ]
-        assert blobs[0] == blobs[1]
+        blobs = {
+            engine: dumps_canonical(
+                Session(engine=engine).run(spec).to_dict()
+            )
+            for engine in ENGINES
+        }
+        for engine in FAST_ENGINES:
+            assert blobs[engine] == blobs["reference"], engine
+
+    @pytest.mark.parametrize("fault", ["stuck:value=1,hold=400", "flicker:period=40"])
+    def test_live_fault_campaign_identical(self, fault):
+        """Live faults (held across co-simulation) force the compiled
+        engine to de-optimize to single-stepping; the outcome bytes
+        must stay identical across all engines."""
+        spec = ExperimentSpec(
+            benchmark="fft",
+            component="l2c",
+            mode="injection",
+            machine=CFG,
+            scale=1 / 120_000,
+            seed=2015,
+            n=2,
+            fault=fault,
+        )
+        blobs = {
+            engine: dumps_canonical(
+                Session(engine=engine).run(spec).to_dict()
+            )
+            for engine in ENGINES
+        }
+        for engine in FAST_ENGINES:
+            assert blobs[engine] == blobs["reference"], engine
+
+    def test_spec_engine_field_is_digest_neutral(self):
+        base = ExperimentSpec(machine=CFG, scale=1 / 120_000, n=2)
+        for engine in ENGINES:
+            spec = base.with_(engine=engine)
+            assert spec.digest() == base.digest()
+            assert "engine" not in spec.to_dict()
+            assert spec == base  # compare=False: results are identical
+        with pytest.raises(ValueError, match="ExperimentSpec.engine"):
+            ExperimentSpec(machine=CFG, engine="turbo")
+
+    def test_session_honors_spec_engine(self):
+        spec = ExperimentSpec(
+            machine=CFG, scale=1 / 120_000, n=1, engine="compiled"
+        )
+        session = Session()
+        platform = session.platform(spec)
+        assert platform.machine.engine == "compiled"
 
 
 class TestGoldenSnapshotChains:
     def test_every_checkpoint_identical(self):
-        """Delta-chain snapshots (event) == delta-chain snapshots
-        (reference, all-dirty captures) at every checkpoint cycle."""
+        """Delta-chain snapshots must match at every checkpoint cycle
+        across all three engines (reference captures all-dirty)."""
         plats = {
             engine: MixedModePlatform(
                 "fft",
@@ -130,10 +202,15 @@ class TestGoldenSnapshotChains:
                 seed=2015,
                 engine=engine,
             )
-            for engine in ("reference", "event")
+            for engine in ENGINES
         }
-        ref, evt = plats["reference"].golden, plats["event"].golden
-        assert list(ref.snapshots) == list(evt.snapshots)
+        ref = plats["reference"].golden
         assert len(ref.snapshots) > 1, "need at least one delta checkpoint"
-        for cycle in ref.snapshots:
-            assert ref.snapshots[cycle] == evt.snapshots[cycle], cycle
+        for engine in FAST_ENGINES:
+            fast = plats[engine].golden
+            assert list(ref.snapshots) == list(fast.snapshots), engine
+            for cycle in ref.snapshots:
+                assert ref.snapshots[cycle] == fast.snapshots[cycle], (
+                    engine,
+                    cycle,
+                )
