@@ -15,18 +15,48 @@ determines its campaign (stable-digest seeding, per-run snapshot
 restore) -- both produce *identical* results for identical spec lists.
 The sweep CLI asserts exactly that when comparing serial and parallel
 output files.
+
+Progress streaming
+------------------
+
+``run`` accepts an optional keyword-only ``on_event`` callback fed
+plain dicts as cells progress:
+
+* ``{"type": "cell_start", "index", "total", "digest", "label",
+  "worker", "t"}`` -- a cell began executing (``worker`` = pid,
+  ``t`` = wall-clock epoch seconds).
+* ``{"type": "cell_done", ..., "seconds", "cpu_seconds", "rss_kb",
+  "records"}`` -- the cell finished; measurements were taken in the
+  process that ran it.
+* ``{"type": "cache_hit" | "cache_miss" | "cache_stale", "index",
+  "digest", "label"}`` -- from :class:`CachingExecutor` (``stale`` =
+  an on-disk entry existed but was corrupt or mismatched).
+
+Serial executors call back inline; :class:`ParallelExecutor` routes
+worker events through a manager queue drained by a coordinator thread,
+so ``on_event`` always runs in the calling process.  Events are pure
+telemetry: emitting them never changes results (the serial/parallel
+byte-identity contract holds with or without a callback), and callback
+exceptions are swallowed so observers cannot break a sweep.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
+import queue as queue_mod
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.api.result import ExperimentResult
 from repro.api.spec import ExperimentSpec
 from repro.api.session import Session
+
+#: Progress callback: receives plain-dict events, return value ignored.
+OnEvent = Callable[[dict], None]
 
 
 @runtime_checkable
@@ -38,15 +68,88 @@ class Executor(Protocol):
     ) -> list[ExperimentResult]: ...
 
 
+def _accepts_on_event(executor) -> bool:
+    """Whether an executor's ``run`` takes the ``on_event`` keyword
+    (third-party executors predating progress streaming may not)."""
+    try:
+        return "on_event" in inspect.signature(executor.run).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _safe_emit(on_event: "OnEvent | None", event: dict) -> None:
+    if on_event is None:
+        return
+    try:
+        on_event(event)
+    except Exception:
+        pass  # observers must never break the sweep
+
+
+def _cell_events(spec: ExperimentSpec, index: int, total: int) -> dict:
+    """The ``cell_start`` event for one cell (also the template the
+    matching ``cell_done`` is built from)."""
+    digest = spec.digest()
+    start = {
+        "type": "cell_start",
+        "index": index,
+        "total": total,
+        "digest": digest,
+        "label": spec.label(),
+        "worker": os.getpid(),
+        "t": round(time.time(), 6),
+    }
+    return start
+
+
+def _done_event(start: dict, seconds: float, cpu: float, records: int) -> dict:
+    from repro.obs import rss_kb
+
+    return {
+        **start,
+        "type": "cell_done",
+        "t": round(time.time(), 6),
+        "seconds": round(seconds, 6),
+        "cpu_seconds": round(cpu, 6),
+        "rss_kb": rss_kb(),
+        "records": records,
+    }
+
+
 class SerialExecutor:
     """Runs specs one after another in a single session."""
 
     def __init__(self, session: "Session | None" = None) -> None:
         self.session = session
 
-    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        on_event: "OnEvent | None" = None,
+    ) -> list[ExperimentResult]:
         session = self.session if self.session is not None else Session()
-        return [session.run(spec) for spec in specs]
+        specs = list(specs)
+        if on_event is None:
+            return [session.run(spec) for spec in specs]
+        results = []
+        total = len(specs)
+        for i, spec in enumerate(specs):
+            start = _cell_events(spec, i, total)
+            _safe_emit(on_event, start)
+            t0, cpu0 = time.perf_counter(), time.process_time()
+            result = session.run(spec)
+            _safe_emit(
+                on_event,
+                _done_event(
+                    start,
+                    time.perf_counter() - t0,
+                    time.process_time() - cpu0,
+                    len(result.records),
+                ),
+            )
+            results.append(result)
+        return results
 
 
 # ----------------------------------------------------------------------
@@ -56,6 +159,10 @@ class SerialExecutor:
 #: platforms (and their golden runs) across tasks
 _WORKER_SESSION: "Session | None" = None
 
+#: per-worker event queue (a manager proxy installed by the pool
+#: initializer when the coordinator asked for progress events)
+_WORKER_EVENT_QUEUE = None
+
 
 def _worker_session() -> Session:
     global _WORKER_SESSION
@@ -64,10 +171,43 @@ def _worker_session() -> Session:
     return _WORKER_SESSION
 
 
+def _init_worker_events(event_queue) -> None:
+    global _WORKER_EVENT_QUEUE
+    _WORKER_EVENT_QUEUE = event_queue
+
+
 def _run_spec_dict(spec_dict: dict) -> dict:
     """Worker entry point: dict in, dict out (always picklable)."""
     spec = ExperimentSpec.from_dict(spec_dict)
     return _worker_session().run(spec).to_dict()
+
+
+def _run_spec_dict_ev(task: tuple) -> dict:
+    """Worker entry point with progress events (index, total, spec dict
+    in; result dict out, events to the shared queue on the side)."""
+    index, total, spec_dict = task
+    spec = ExperimentSpec.from_dict(spec_dict)
+    q = _WORKER_EVENT_QUEUE
+    if q is None:
+        return _worker_session().run(spec).to_dict()
+    start = _cell_events(spec, index, total)
+    try:
+        q.put(start)
+    except Exception:
+        pass
+    t0, cpu0 = time.perf_counter(), time.process_time()
+    result = _worker_session().run(spec)
+    done = _done_event(
+        start,
+        time.perf_counter() - t0,
+        time.process_time() - cpu0,
+        len(result.records),
+    )
+    try:
+        q.put(done)
+    except Exception:
+        pass
+    return result.to_dict()
 
 
 class ParallelExecutor:
@@ -87,19 +227,71 @@ class ParallelExecutor:
             raise ValueError("workers must be at least 1")
         self.chunksize = max(1, chunksize)
 
-    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        on_event: "OnEvent | None" = None,
+    ) -> list[ExperimentResult]:
         specs = list(specs)
         if not specs:
             return []
-        # pool.map preserves input order, so results line up with specs
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            dicts = list(
-                pool.map(
-                    _run_spec_dict,
-                    [spec.to_dict() for spec in specs],
-                    chunksize=self.chunksize,
+        if on_event is None:
+            # pool.map preserves input order, so results line up with specs
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                dicts = list(
+                    pool.map(
+                        _run_spec_dict,
+                        [spec.to_dict() for spec in specs],
+                        chunksize=self.chunksize,
+                    )
                 )
+            return [ExperimentResult.from_dict(d) for d in dicts]
+        return self._run_with_events(specs, on_event)
+
+    def _run_with_events(
+        self, specs: list, on_event: OnEvent
+    ) -> list[ExperimentResult]:
+        import multiprocessing as mp
+
+        total = len(specs)
+        tasks = [(i, total, spec.to_dict()) for i, spec in enumerate(specs)]
+        with mp.Manager() as manager:
+            # a manager-proxy queue is picklable under every start
+            # method, so it can ride in as a pool initializer argument
+            event_queue = manager.Queue()
+            stop = threading.Event()
+
+            def drain() -> None:
+                while True:
+                    try:
+                        event = event_queue.get(timeout=0.2)
+                    except queue_mod.Empty:
+                        if stop.is_set():
+                            return
+                        continue
+                    except (EOFError, OSError):
+                        return  # manager went away (shutdown race)
+                    _safe_emit(on_event, event)
+
+            drainer = threading.Thread(
+                target=drain, name="repro-obs-drain", daemon=True
             )
+            drainer.start()
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker_events,
+                    initargs=(event_queue,),
+                ) as pool:
+                    dicts = list(
+                        pool.map(
+                            _run_spec_dict_ev, tasks, chunksize=self.chunksize
+                        )
+                    )
+            finally:
+                stop.set()
+                drainer.join(timeout=5.0)
         return [ExperimentResult.from_dict(d) for d in dicts]
 
 
@@ -121,19 +313,31 @@ class CachingExecutor:
     def __init__(self, cache_dir: "str | Path", inner: "Executor | None" = None):
         self.cache_dir = Path(cache_dir)
         self.inner = inner if inner is not None else SerialExecutor()
-        #: hit/miss tally of the most recent :meth:`run` (for logs/tests)
+        #: hit/miss/stale tally of the most recent :meth:`run` (for
+        #: logs, the sweep cache summary, and tests).  ``stale`` counts
+        #: on-disk entries that existed but were corrupt or mismatched.
         self.last_hits = 0
         self.last_misses = 0
+        self.last_stale = 0
 
     def _path_for(self, spec: ExperimentSpec) -> Path:
         return self.cache_dir / f"{spec.digest()}.json"
 
-    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        on_event: "OnEvent | None" = None,
+    ) -> list[ExperimentResult]:
+        from repro import obs
+
         specs = list(specs)
         results: "list[ExperimentResult | None]" = [None] * len(specs)
         miss_indices: list[int] = []
+        self.last_stale = 0
         for i, spec in enumerate(specs):
             path = self._path_for(spec)
+            stale = False
             if path.is_file():
                 try:
                     cached = ExperimentResult.load(path)
@@ -141,14 +345,56 @@ class CachingExecutor:
                     # truncated/corrupt file (e.g. an interrupted write):
                     # a miss, recomputed and rewritten below
                     cached = None
-                if cached is not None and cached.spec == spec:
+                    stale = True
+                if cached is not None and cached.spec != spec:
+                    cached = None
+                    stale = True
+                if cached is not None:
                     results[i] = cached
+                    obs.counter("cache.hits").inc()
+                    _safe_emit(
+                        on_event,
+                        {
+                            "type": "cache_hit",
+                            "index": i,
+                            "total": len(specs),
+                            "digest": spec.digest(),
+                            "label": spec.label(),
+                        },
+                    )
                     continue
+            if stale:
+                self.last_stale += 1
+                obs.counter("cache.stale").inc()
+                _safe_emit(
+                    on_event,
+                    {
+                        "type": "cache_stale",
+                        "index": i,
+                        "digest": spec.digest(),
+                        "label": spec.label(),
+                    },
+                )
+            obs.counter("cache.misses").inc()
+            _safe_emit(
+                on_event,
+                {
+                    "type": "cache_miss",
+                    "index": i,
+                    "digest": spec.digest(),
+                    "label": spec.label(),
+                },
+            )
             miss_indices.append(i)
         self.last_hits = len(specs) - len(miss_indices)
         self.last_misses = len(miss_indices)
         if miss_indices:
-            fresh = self.inner.run([specs[i] for i in miss_indices])
+            fresh = self._run_inner(
+                [specs[i] for i in miss_indices],
+                miss_indices,
+                len(specs),
+                on_event,
+            )
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             for i, result in zip(miss_indices, fresh):
                 path = self._path_for(specs[i])
@@ -159,6 +405,27 @@ class CachingExecutor:
                 tmp.replace(path)
                 results[i] = result
         return results  # type: ignore[return-value]
+
+    def _run_inner(
+        self,
+        miss_specs: list,
+        miss_indices: list[int],
+        total: int,
+        on_event: "OnEvent | None",
+    ) -> list[ExperimentResult]:
+        if on_event is None or not _accepts_on_event(self.inner):
+            return self.inner.run(miss_specs)
+
+        def remapped(event: dict) -> None:
+            # inner executors index into the miss list; progress wants
+            # positions in the original spec list
+            if "index" in event:
+                event = {**event, "index": miss_indices[event["index"]]}
+            if "total" in event:
+                event = {**event, "total": total}
+            on_event(event)
+
+        return self.inner.run(miss_specs, on_event=remapped)
 
 
 def make_executor(

@@ -82,11 +82,22 @@ class Session:
     # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         """Run one experiment cell and return the canonical result."""
-        if spec.mode == "injection":
-            return self._run_injection(spec)
-        if spec.mode == "qrr":
-            return self._run_qrr(spec)
-        return self._run_golden(spec)
+        from repro import obs
+
+        with obs.timer("session.cell_seconds", labels={"mode": spec.mode}).time():
+            if spec.mode == "injection":
+                result = self._run_injection(spec)
+            elif spec.mode == "qrr":
+                result = self._run_qrr(spec)
+            else:
+                result = self._run_golden(spec)
+        obs.counter("session.cells", labels={"mode": spec.mode}).inc()
+        if obs.enabled():
+            # cell end is the coarse boundary where machine-cycle deltas
+            # get published into the registry
+            for platform in self._platforms.values():
+                platform.machine.obs_flush()
+        return result
 
     def run_many(self, specs) -> list[ExperimentResult]:
         """Run specs sequentially in this session (see also executors)."""

@@ -11,6 +11,8 @@ from repro.bench.harness import (
     BenchSettings,
     check_against_baseline,
     fault_overhead_guard,
+    host_noise_warnings,
+    obs_overhead_guard,
     run_benches,
 )
 
@@ -18,5 +20,7 @@ __all__ = [
     "BenchSettings",
     "check_against_baseline",
     "fault_overhead_guard",
+    "host_noise_warnings",
+    "obs_overhead_guard",
     "run_benches",
 ]

@@ -19,18 +19,22 @@ event engine's one-hop idle skips, so all engines are measured against
 the same denominator.  Each scenario runs ``repeats`` times and keeps
 the best (the host's scheduling noise is substantial).
 
-Schema v2 additions: per-engine golden entries carry a ``phases``
-breakdown (core interpretation vs uncore datapath vs snapshot capture,
-measured on one instrumented pass outside the timed repeats) and the
-result matrix reports ``speedup_compiled_vs_reference`` /
-``speedup_compiled_vs_event`` alongside the existing event-vs-reference
-ratio.
+Schema v2 added per-engine golden ``phases`` breakdowns and the
+compiled-engine speedup ratios.  Schema v3 keeps ``seconds`` = best (so
+baseline comparisons stay valid across the bump) and adds a ``spread``
+entry per bench -- min/median/max/stdev over the repeats -- so host
+noise is visible in the document instead of silently discarded;
+:func:`check_against_baseline` flags noisy hosts from it.  The golden
+phase breakdown now comes from the timed repeats themselves via
+``Machine.instrument_phases`` (the obs span/timer API) instead of a
+separate monkey-patched pass.
 """
 
 from __future__ import annotations
 
 import gc
 import json
+import os
 import platform as _platform
 import random
 import time
@@ -41,12 +45,14 @@ from pathlib import Path
 from repro.api import ExperimentSpec, SerialExecutor, Session, dumps_canonical
 from repro.injection.campaign import InjectionCampaign
 from repro.mixedmode.platform import CosimConfig, MixedModePlatform, compute_golden
+from repro.obs import Timer
+from repro.obs.registry import spread
 from repro.qrr.campaign import QrrCampaign
 from repro.system.machine import ENGINES, Machine, MachineConfig
 from repro.workloads import build_workload
 
 #: Bump when the BENCH JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: The machine geometry campaigns use (matches the CLI defaults).
 BENCH_MACHINE = MachineConfig(
@@ -76,15 +82,19 @@ class BenchSettings:
         return cls(injections=3, qrr_runs=2, sweep_runs=2, repeats=2)
 
 
-def _timed(fn, repeats: int) -> tuple[float, object]:
-    """(best seconds, last result) over ``repeats`` runs of ``fn``.
+def _timed(fn, repeats: int) -> tuple[float, list[float], object]:
+    """(best seconds, all per-repeat seconds, result of the best repeat)
+    over ``repeats`` runs of ``fn``.
 
     The collector is paused during timed sections (snapshot chains and
     campaign records make generational sweeps expensive and bursty --
     they were the dominant run-to-run noise) and run between repeats.
+    Every repeat's time is kept: the schema-v3 ``spread`` entries are
+    computed from the full sample list, not just the winner.
     """
     best = None
-    result = None
+    best_result = None
+    samples: list[float] = []
     gc_was_enabled = gc.isenabled()
     for _ in range(repeats):
         gc.collect()
@@ -96,9 +106,11 @@ def _timed(fn, repeats: int) -> tuple[float, object]:
         finally:
             if gc_was_enabled:
                 gc.enable()
+        samples.append(elapsed)
         if best is None or elapsed < best:
             best = elapsed
-    return best, result
+            best_result = result
+    return best, samples, best_result
 
 
 def _throughput(cycles: int, seconds: float) -> dict:
@@ -117,66 +129,47 @@ def _bench_golden(engine: str, settings: BenchSettings, log) -> dict:
         seed=BENCH_SEED,
     )
     stats = {}
+    # the reference engine inlines its uncore stage, so no phase split
+    # is measurable for it -- skip the instrumentation entirely
+    measure_phases = engine != "reference"
 
     def once():
         machine = Machine(BENCH_MACHINE, engine=engine)
         machine.load_workload(image)
+        phase_timers = None
+        if measure_phases:
+            # phases come from the measured run itself: the obs Timer
+            # shims on the machine's chokepoints replace the old
+            # separate monkey-patched pass
+            phase_timers = (Timer("uncore"), Timer("snapshot"))
+            machine.instrument_phases(
+                uncore=phase_timers[0], snapshot=phase_timers[1]
+            )
         before = machine.cycles_advanced
         golden = compute_golden(machine, CosimConfig(), keep_snapshots=True)
         stats["cycles"] = machine.cycles_advanced - before
         if hasattr(golden.snapshots, "storage_stats"):
             stats["snapshots"] = golden.snapshots.storage_stats()
-        return golden
+        return phase_timers
 
-    seconds, _ = _timed(once, settings.repeats)
+    seconds, samples, phase_timers = _timed(once, settings.repeats)
     out = _throughput(stats["cycles"], seconds)
+    out["spread"] = spread(samples)
     if "snapshots" in stats:
         out["snapshot_storage"] = stats["snapshots"]
-    if engine != "reference":
-        # the reference engine inlines its uncore stage, so no phase
-        # split is measurable for it -- skip the extra pass rather than
-        # pay the slowest engine's golden run for an empty breakdown
-        out["phases"] = _golden_phase_breakdown(engine, image)
+    if phase_timers is not None:
+        # the best repeat's timers (total = that repeat's wall time)
+        uncore_t, snapshot_t = phase_timers
+        out["phases"] = {
+            "total": round(seconds, 6),
+            "snapshot": round(snapshot_t.seconds, 6),
+            "uncore": round(uncore_t.seconds, 6),
+            "core_interp": round(
+                max(0.0, seconds - uncore_t.seconds - snapshot_t.seconds), 6
+            ),
+        }
     log(f"  golden[{engine}]: {out['cycles_per_sec']:,.0f} cycles/s")
     return out
-
-
-def _golden_phase_breakdown(engine: str, image) -> dict:
-    """Schema-v2 per-phase timing of one golden run (seconds).
-
-    One extra *instrumented* pass (outside the timed best-of repeats,
-    so the headline numbers stay clean): the uncore stage and the
-    snapshot captures are wrapped with timers on the machine instance,
-    and core interpretation is everything that remains.
-    """
-    machine = Machine(BENCH_MACHINE, engine=engine)
-    machine.load_workload(image)
-    acc = {"uncore": 0.0, "snapshot": 0.0}
-    perf = time.perf_counter
-
-    def wrap(name, fn):
-        def timed(*args, **kwargs):
-            t0 = perf()
-            result = fn(*args, **kwargs)
-            acc[name] += perf() - t0
-            return result
-
-        return timed
-
-    machine._step_uncore = wrap("uncore", machine._step_uncore)
-    machine.snapshot = wrap("snapshot", machine.snapshot)
-    machine.delta_snapshot = wrap("snapshot", machine.delta_snapshot)
-    t0 = perf()
-    compute_golden(machine, CosimConfig(), keep_snapshots=True)
-    total = perf() - t0
-    return {
-        "total": round(total, 6),
-        "snapshot": round(acc["snapshot"], 6),
-        "uncore": round(acc["uncore"], 6),
-        "core_interp": round(
-            max(0.0, total - acc["uncore"] - acc["snapshot"]), 6
-        ),
-    }
 
 
 def _campaign_platform(engine: str) -> MixedModePlatform:
@@ -198,8 +191,9 @@ def _bench_injection(engine: str, settings: BenchSettings, log) -> dict:
         InjectionCampaign(plat, "l2c", seed=BENCH_SEED).run(settings.injections)
         stats["cycles"] = plat.machine.cycles_advanced - before
 
-    seconds, _ = _timed(once, settings.repeats)
+    seconds, samples, _ = _timed(once, settings.repeats)
     out = _throughput(stats["cycles"], seconds)
+    out["spread"] = spread(samples)
     out["runs"] = settings.injections
     out["ms_per_run"] = round(seconds / settings.injections * 1e3, 2)
     log(
@@ -220,8 +214,9 @@ def _bench_qrr(engine: str, settings: BenchSettings, log) -> dict:
         stats["recovered"] = result.recovered
         return result
 
-    seconds, _ = _timed(once, settings.repeats)
+    seconds, samples, _ = _timed(once, settings.repeats)
     out = _throughput(stats["cycles"], seconds)
+    out["spread"] = spread(samples)
     out["runs"] = settings.qrr_runs
     out["recovered"] = stats["recovered"]
     out["ms_per_run"] = round(seconds / settings.qrr_runs * 1e3, 2)
@@ -254,8 +249,9 @@ def _bench_sweep(engine: str, settings: BenchSettings, log) -> dict:
             plat.machine.cycles_advanced for plat in session.platforms()
         )
 
-    seconds, _ = _timed(once, settings.repeats)
+    seconds, samples, _ = _timed(once, settings.repeats)
     out = _throughput(stats["cycles"], seconds)
+    out["spread"] = spread(samples)
     out["cells"] = len(specs)
     log(f"  sweep[{engine}]: {out['cycles_per_sec']:,.0f} cycles/s")
     return out
@@ -360,10 +356,10 @@ def fault_overhead_guard(
     repeats = max(5, settings.repeats)
     best_inline = best_model = None
     for _ in range(repeats):
-        seconds, _ = _timed(inline, 1)
+        seconds, _, _ = _timed(inline, 1)
         if best_inline is None or seconds < best_inline:
             best_inline = seconds
-        seconds, _ = _timed(modeled, 1)
+        seconds, _, _ = _timed(modeled, 1)
         if best_model is None or seconds < best_model:
             best_model = seconds
     overhead = best_model / best_inline - 1.0
@@ -381,20 +377,138 @@ def fault_overhead_guard(
     }
 
 
+def obs_overhead_guard(
+    settings: "BenchSettings | None" = None,
+    log=lambda line: None,
+    engine: str = "event",
+) -> dict:
+    """Measure the observability layer's tax on a campaign cell.
+
+    Runs the same L2C injection cell on two platforms built under
+    opposite obs states -- one with the layer disabled (null metric
+    handles frozen into the machine) and one with it enabled (live
+    registry counters, fault accounting, session timers) -- and reports
+    the relative overhead of the enabled path.  Both cells execute
+    bit-identical simulation work (obs never consumes campaign RNG), so
+    the ratio isolates instrumentation cost.  CI gates this at 10%
+    (``repro bench --obs-guard``).  The obs-*off* budget (<= 2% vs the
+    pre-obs code) is enforced separately by the committed-baseline
+    throughput gate: the disabled path's only additions are is-None
+    checks at coarse chokepoints, which the 30%-tolerance baseline
+    comparison would catch long before they cost 2%.
+
+    The process-wide obs state (and ``REPRO_OBS``) is restored on exit.
+    """
+    from repro import obs
+
+    settings = settings if settings is not None else BenchSettings.tiny()
+    component = "l2c"
+    prev_env = os.environ.get("REPRO_OBS")
+    prev_enabled = obs.enabled()
+    try:
+        obs.disable()
+        plat_off = _campaign_platform(engine)
+        obs.enable()
+        plat_on = _campaign_platform(engine)
+
+        def run_off():
+            obs.disable()
+            InjectionCampaign(plat_off, component, seed=BENCH_SEED).run(
+                settings.injections
+            )
+
+        def run_on():
+            obs.enable()
+            InjectionCampaign(plat_on, component, seed=BENCH_SEED).run(
+                settings.injections
+            )
+
+        # interleaved best-of to cancel host drift, like the fault guard
+        repeats = max(5, settings.repeats)
+        best_off = best_on = None
+        for _ in range(repeats):
+            seconds, _, _ = _timed(run_off, 1)
+            if best_off is None or seconds < best_off:
+                best_off = seconds
+            seconds, _, _ = _timed(run_on, 1)
+            if best_on is None or seconds < best_on:
+                best_on = seconds
+    finally:
+        if prev_enabled:
+            obs.enable()
+        else:
+            # the enable was ours: drop the guard's metrics too, so a
+            # previously-silent process stays silent
+            obs.disable()
+            obs.REGISTRY.clear()
+        if prev_env is None:
+            os.environ.pop("REPRO_OBS", None)
+        else:
+            os.environ["REPRO_OBS"] = prev_env
+    overhead = best_on / best_off - 1.0
+    log(
+        f"obs guard[{engine}]: off {best_off * 1e3:.1f}ms vs on "
+        f"{best_on * 1e3:.1f}ms over {settings.injections} runs "
+        f"({overhead:+.1%})"
+    )
+    return {
+        "engine": engine,
+        "off_seconds": round(best_off, 6),
+        "on_seconds": round(best_on, 6),
+        "runs": settings.injections,
+        "overhead": round(overhead, 4),
+    }
+
+
 def save_bench(doc: dict, path: "str | Path") -> Path:
     path = Path(path)
     path.write_text(dumps_canonical(doc) + "\n")
     return path
 
 
+def host_noise_warnings(doc: dict, threshold: float = 0.10) -> list[str]:
+    """Benches whose repeat spread says the host was noisy.
+
+    A bench whose stdev/median exceeds ``threshold`` produced a best-of
+    sample that may not be trustworthy -- a regression verdict against
+    the baseline should be re-run before being believed.  Advisory only
+    (never a CI failure): noise is a property of the host, not the code.
+    """
+    warnings: list[str] = []
+    for scenario, entry in doc.get("results", {}).items():
+        for engine in ENGINES:
+            engine_entry = entry.get(engine)
+            if not isinstance(engine_entry, dict):
+                continue
+            sp = engine_entry.get("spread")
+            if not sp or not sp.get("median"):
+                continue
+            noise = sp["stdev"] / sp["median"]
+            if noise > threshold:
+                warnings.append(
+                    f"{scenario}[{engine}]: noisy host -- stdev/median "
+                    f"{noise:.0%} exceeds {threshold:.0%} "
+                    f"(spread {sp['min']:.3f}..{sp['max']:.3f}s); treat "
+                    f"baseline comparisons for this bench with suspicion"
+                )
+    return warnings
+
+
 def check_against_baseline(
-    doc: dict, baseline_path: "str | Path", tolerance: float = 0.30
+    doc: dict,
+    baseline_path: "str | Path",
+    tolerance: float = 0.30,
+    warn=lambda line: None,
 ) -> list[str]:
     """Regression check: per-engine cycles/sec must not fall more than
     ``tolerance`` below the committed baseline.  Every engine present in
     the baseline (event, compiled, reference) is gated, so the compiled
     fast path cannot silently regress either.  Returns failure lines
-    (empty when the check passes)."""
+    (empty when the check passes).  Host-noise findings (see
+    :func:`host_noise_warnings`) are reported through ``warn`` without
+    failing the check."""
+    for line in host_noise_warnings(doc):
+        warn(line)
     baseline = json.loads(Path(baseline_path).read_text())
     failures: list[str] = []
     for scenario, entry in baseline.get("results", {}).items():

@@ -13,9 +13,12 @@ Usage::
     python -m repro.cli qrr --component mcu --n 50 --json -
     python -m repro.cli sweep --n 20 --workers 4 --json out.json
     python -m repro.cli sweep --n 20 --cache-dir .sweep-cache
+    python -m repro.cli sweep --n 20 --workers 4 --progress --trace-out t.jsonl
     python -m repro.cli faults list
     python -m repro.cli bench --tiny --json BENCH_step.json
     python -m repro.cli bench --fault-guard
+    python -m repro.cli bench --obs-guard
+    python -m repro.cli top --format prom
     python -m repro.cli tables
     python -m repro.cli run --benchmark p-wc
 """
@@ -25,6 +28,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 
 from repro.analysis.tables import (
     table1_highlevel_state,
@@ -184,12 +188,18 @@ def cmd_sweep(args) -> int:
         f"sweep: {len(specs)} cells x {args.n} runs "
         f"({executor.__class__.__name__}, workers={args.workers})"
     )
-    results = executor.run(specs)
+    on_event = _sweep_observer(args, total=len(specs))
+    results = executor.run(specs, on_event=on_event)
+    if on_event is not None:
+        on_event.finish()
     if isinstance(executor, CachingExecutor):
-        print(
+        summary = (
             f"result cache {args.cache_dir}: {executor.last_hits} hits, "
             f"{executor.last_misses} misses"
         )
+        if executor.last_stale:
+            summary += f" ({executor.last_stale} stale entries recomputed)"
+        print(summary)
 
     _print_sweep_tables(results)
     if args.json:
@@ -212,6 +222,101 @@ def cmd_sweep(args) -> int:
         if args.json != "-":
             print(f"wrote {len(results)} cell results to {args.json}")
     return 0
+
+
+class _SweepObserver:
+    """Sweep-side consumer of the executor ``on_event`` stream.
+
+    One callable object wires the three obs sinks together: the live
+    progress line (``--progress``), the JSON-lines trace (``--trace-out``,
+    one cell span per ``cell_done`` plus cache instants, with the
+    in-process golden-chunk/materialize spans interleaved by the
+    installed tracer) and periodic registry snapshots (``--obs-out``,
+    what a concurrent ``repro top --follow`` reads).
+    """
+
+    SNAPSHOT_PERIOD = 2.0
+
+    def __init__(self, args, total: int) -> None:
+        from repro import obs
+
+        self._obs = obs
+        self.state = obs.ProgressState(total=total)
+        self.renderer = (
+            obs.ProgressRenderer(self.state) if args.progress else None
+        )
+        self.trace = (
+            obs.TraceWriter(args.trace_out) if args.trace_out else None
+        )
+        self.obs_out = args.obs_out
+        self._epoch0 = time.time()
+        self._last_snapshot = 0.0
+        if self.trace is not None:
+            # in-process spans (golden chunks, snapshot materializations)
+            # interleave with the executor cell records
+            obs.set_tracer(self.trace)
+
+    def __call__(self, event: dict) -> None:
+        self.state.handle(event)
+        if self.trace is not None:
+            self._trace_event(event)
+        if self.renderer is not None:
+            self.renderer.maybe_render()
+        if self._obs.enabled():
+            self.state.update_registry()
+        if self.obs_out and (
+            time.monotonic() - self._last_snapshot > self.SNAPSHOT_PERIOD
+        ):
+            self._last_snapshot = time.monotonic()
+            self._obs.write_snapshot(self.obs_out)
+
+    def _trace_event(self, event: dict) -> None:
+        etype = event.get("type")
+        if etype == "cell_done":
+            self.trace.cell(
+                event.get("label", "?"),
+                t0=max(0.0, event.get("t", 0.0) - self._epoch0),
+                seconds=event.get("seconds", 0.0),
+                cpu_seconds=event.get("cpu_seconds", 0.0),
+                rss_kb=event.get("rss_kb", 0),
+                pid=event.get("worker"),
+                digest=event.get("digest"),
+                index=event.get("index"),
+            )
+        elif etype in ("cache_hit", "cache_stale"):
+            self.trace.instant(
+                etype, "cache", digest=event.get("digest"),
+                index=event.get("index"),
+            )
+
+    def finish(self) -> None:
+        if self.renderer is not None:
+            self.renderer.finish()
+        report = self.state.report()
+        if self.renderer is not None or report["incomplete"]:
+            line = (
+                f"sweep done: {report['done']}/{report['total']} cells in "
+                f"{report['elapsed_seconds']:.1f}s "
+                f"({report['cells_per_sec']:.2f} cells/s)"
+            )
+            if report["incomplete"]:
+                line += (
+                    f"; WARNING: {len(report['incomplete'])} cells started "
+                    f"but never finished (indices "
+                    f"{report['incomplete']}) -- a worker may have died"
+                )
+            print(line)
+        if self.trace is not None:
+            self._obs.set_tracer(None)
+            self.trace.close()
+        if self.obs_out:
+            self._obs.write_snapshot(self.obs_out)
+
+
+def _sweep_observer(args, total: int) -> "_SweepObserver | None":
+    if not (args.progress or args.trace_out or args.obs_out):
+        return None
+    return _SweepObserver(args, total)
 
 
 def _print_sweep_tables(results: list[ExperimentResult]) -> None:
@@ -263,9 +368,30 @@ def _print_sweep_tables(results: list[ExperimentResult]) -> None:
 
 def cmd_bench(args) -> int:
     from repro.bench import BenchSettings, check_against_baseline, run_benches
-    from repro.bench.harness import fault_overhead_guard, save_bench
+    from repro.bench.harness import (
+        fault_overhead_guard,
+        obs_overhead_guard,
+        save_bench,
+    )
 
     settings = BenchSettings.tiny() if args.tiny else BenchSettings()
+    if args.obs_guard:
+        guard = obs_overhead_guard(
+            settings, log=print, engine=args.obs_guard_engine
+        )
+        if guard["overhead"] > args.obs_tolerance:
+            print(
+                f"obs overhead guard[{args.obs_guard_engine}]: campaign "
+                f"with REPRO_OBS=1 is {guard['overhead']:+.1%} vs obs off "
+                f"(limit {args.obs_tolerance:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"obs overhead guard[{args.obs_guard_engine}]: "
+            f"{guard['overhead']:+.1%} (limit {args.obs_tolerance:.0%}): ok"
+        )
+        return 0
     if args.fault_guard:
         guard = fault_overhead_guard(
             settings, log=print, engine=args.fault_guard_engine
@@ -297,7 +423,10 @@ def cmd_bench(args) -> int:
         print(f"wrote {args.json}")
     if args.check_against:
         failures = check_against_baseline(
-            doc, args.check_against, tolerance=args.tolerance
+            doc,
+            args.check_against,
+            tolerance=args.tolerance,
+            warn=lambda line: print(f"bench warning: {line}", file=sys.stderr),
         )
         if failures:
             for line in failures:
@@ -305,6 +434,42 @@ def cmd_bench(args) -> int:
             return 1
         print(f"bench check vs {args.check_against}: ok")
     return 0
+
+
+def cmd_top(args) -> int:
+    """Render obs state: a snapshot file a sweep wrote (``--obs-out``),
+    or this process's own registry when no file is given."""
+    from repro import obs
+    from repro.obs.report import read_snapshot
+
+    def render(doc) -> str:
+        if args.format == "prom":
+            return obs.render_prometheus(doc)
+        return obs.render_table(doc)
+
+    if args.snapshot is None:
+        print(render(obs.snapshot()))
+        if not obs.enabled():
+            print(
+                "(hint: the metrics layer is off in this process; pass a "
+                "snapshot file written by 'repro sweep --obs-out FILE', or "
+                "run commands with --obs / REPRO_OBS=1)",
+                file=sys.stderr,
+            )
+        return 0
+    while True:
+        try:
+            doc = read_snapshot(args.snapshot)
+        except FileNotFoundError:
+            if not args.follow:
+                print(f"no snapshot file at {args.snapshot}", file=sys.stderr)
+                return 1
+            doc = None
+        if doc is not None:
+            print(render(doc))
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
 
 
 def cmd_tables(_args) -> int:
@@ -337,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine", default=None, choices=list(ENGINES),
             help="machine cycle engine (bit-identical results; "
                  "performance knob only -- default: event)",
+        )
+        p.add_argument(
+            "--obs", action="store_true",
+            help="enable the metrics layer (same as REPRO_OBS=1); "
+                 "digest-neutral -- results are bit-identical either way",
         )
 
     def json_flag(p):
@@ -404,6 +574,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="skip cells whose (spec-digest -> result) JSON "
                         "already exists under DIR; misses are written back")
+    p.add_argument("--progress", action="store_true",
+                   help="render a live progress line (cells/sec, ETA, "
+                        "cache hit rate, per-worker rss)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write per-cell trace spans (canonical JSON-lines; "
+                        "convert with repro.obs.to_chrome)")
+    p.add_argument("--obs-out", default=None, metavar="FILE",
+                   help="periodically write a metrics-registry snapshot "
+                        "for 'repro top FILE --follow'")
     fault_flag(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -431,7 +610,30 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(ENGINES),
                    help="cycle engine the fault-overhead guard runs on "
                         "(CI gates event and compiled)")
+    p.add_argument("--obs-guard", action="store_true",
+                   help="only run the observability overhead guard: time a "
+                        "campaign cell with the obs layer enabled against "
+                        "the disabled path and fail (exit 1) beyond "
+                        "--obs-tolerance")
+    p.add_argument("--obs-tolerance", type=float, default=0.10)
+    p.add_argument("--obs-guard-engine", default="event",
+                   choices=list(ENGINES),
+                   help="cycle engine the obs-overhead guard runs on")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "top", help="render obs metrics (table or Prometheus format)"
+    )
+    p.add_argument("snapshot", nargs="?", default=None, metavar="SNAPSHOT",
+                   help="a snapshot file written by 'repro sweep --obs-out' "
+                        "(default: this process's registry)")
+    p.add_argument("--format", default="table", choices=["table", "prom"],
+                   help="'prom' emits Prometheus text-exposition format")
+    p.add_argument("--follow", action="store_true",
+                   help="re-render the snapshot file every --interval "
+                        "seconds until interrupted")
+    p.add_argument("--interval", type=float, default=2.0)
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("tables", help="print the inventory tables")
     p.set_defaults(func=cmd_tables)
@@ -440,10 +642,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "obs", False):
+        # enable before any platform/machine is built so hot-loop
+        # counter handles freeze in the enabled state (also exports
+        # REPRO_OBS=1 for pool workers)
+        from repro import obs
+
+        obs.enable()
     if args.command == "sweep" and args.seeds is None:
         args.seeds = [args.seed]
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # output was piped into a pager/head that exited early
+        return 0
     except _UserError as exc:
         # invalid spec combinations (e.g. PCIe into a benchmark without
         # an input file) are user errors, not crashes; genuine internal

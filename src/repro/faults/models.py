@@ -126,6 +126,33 @@ class FaultModel:
         """Per-cycle re-assertion hook, or ``None`` for one-shot faults."""
         return None
 
+    # ------------------------------------------------------------------
+    # counted front doors (what the campaign/platform drivers call)
+    # ------------------------------------------------------------------
+    def sample_event(
+        self, platform, component: str, rng: random.Random
+    ) -> FaultEvent:
+        """:meth:`sample` plus obs accounting (sampled/masked counts).
+
+        Counters are digest-neutral -- they observe the event after the
+        RNG draws, never consume randomness themselves.
+        """
+        event = self.sample(platform, component, rng)
+        from repro import obs
+
+        obs.counter("faults.sampled", labels={"model": self.name}).inc()
+        if event.masked:
+            obs.counter("faults.masked", labels={"model": self.name}).inc()
+        return event
+
+    def apply_event(self, adapter, event: FaultEvent) -> tuple[str, int, int]:
+        """:meth:`apply` plus obs accounting (applied count)."""
+        location = self.apply(adapter, event)
+        from repro import obs
+
+        obs.counter("faults.applied", labels={"model": self.name}).inc()
+        return location
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{self.__class__.__name__}({self.spec_string()!r})"
 

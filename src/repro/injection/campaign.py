@@ -159,7 +159,7 @@ class InjectionCampaign:
         table = OutcomeTable(self.component, self.platform.benchmark)
         result = CampaignResult(table)
         for _ in range(n_injections):
-            event = self.fault.sample(self.platform, self.component, rng)
+            event = self.fault.sample_event(self.platform, self.component, rng)
             run = self.platform.run_injection(
                 self.component,
                 event.cycle,

@@ -210,6 +210,13 @@ def compute_golden(
     cf = cosim.snapshot_interval
     watchdog = machine.config.watchdog_cycles
     cap = machine.config.max_cycles
+    # obs handles resolved once (null no-ops when disabled); the tracer
+    # decision is likewise frozen so the chunk loop stays branch-cheap
+    from repro import obs
+
+    chunk_count = obs.counter("golden.chunks")
+    chunk_time = obs.timer("golden.chunk_seconds")
+    tracer = obs.tracer()
     # Advance checkpoint-to-checkpoint via Machine.advance_until: the
     # O(1) termination checks run between chunks (the early-stop cycle
     # is exact, so successful runs are bit-identical to per-cycle
@@ -233,11 +240,26 @@ def compute_golden(
             next_ckpt = machine.cycle + cf - machine.cycle % cf
             if next_ckpt < target:
                 target = next_ckpt
-        if machine.advance_until(target):
+        start_cycle = machine.cycle
+        if tracer is None:
+            with chunk_time.time():
+                done = machine.advance_until(target)
+        else:
+            with chunk_time.time(), tracer.span(
+                "golden_chunk",
+                "golden",
+                start_cycle=start_cycle,
+                target=target,
+                engine=machine.engine,
+            ):
+                done = machine.advance_until(target)
+        chunk_count.inc()
+        if done:
             if chain is not None and machine.cycle % cf == 0:
                 chain.checkpoint()
     if chain is not None:
         chain.finalize()
+    machine.obs_flush()
     window = machine.pcie.transfer_window() if want_pcie_window else None
     return GoldenRun(
         cycles=machine.cycle,
@@ -363,7 +385,7 @@ class MixedModePlatform:
 
         # ---- phase 2: inject and co-simulate ------------------------------
         if fault is not None:
-            flip_loc = fault.apply(adapter, event)
+            flip_loc = fault.apply_event(adapter, event)
             live = fault.live(event, machine.cycle)
         else:
             flip_loc = adapter.flip(target_bit)

@@ -1,0 +1,221 @@
+"""Executor progress streaming: state tracking and live rendering.
+
+Executors emit plain-dict events through their optional ``on_event``
+callback (see :mod:`repro.api.executor`):
+
+* ``cell_start`` -- a cell began executing (``index``, ``digest``,
+  ``label``, ``worker`` pid, ``t`` wall time).
+* ``cell_done`` -- a cell finished (``seconds``, ``cpu_seconds``,
+  ``rss_kb`` of the executing worker, ``records``).
+* ``cache_hit`` / ``cache_miss`` / ``cache_stale`` -- the caching
+  executor resolved a cell against the on-disk store (``stale`` =
+  corrupt or mismatched entry, recomputed).
+
+:class:`ProgressState` folds the stream into campaign-level facts
+(done counts, cells/sec, ETA, cache hit rate, per-worker RSS) and
+produces a coherent final :meth:`report` even when terminal events are
+missing -- a killed worker leaves its cells in ``incomplete`` instead
+of wedging the accounting.  :class:`ProgressRenderer` draws the live
+one-line view ``repro sweep --progress`` shows.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressState:
+    """Folds executor events into live campaign state."""
+
+    def __init__(self, total: "int | None" = None) -> None:
+        self.total = total
+        self.started: set[int] = set()
+        self.done: set[int] = set()
+        self.done_digests: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.records = 0
+        self.worker_rss_kb: dict[int, int] = {}
+        self.t_start = time.monotonic()
+        self.last_event: "dict | None" = None
+        self.malformed = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, event: dict) -> None:
+        """Fold one event (unknown/malformed events are tallied, never
+        raised -- progress must not be able to break a run)."""
+        if not isinstance(event, dict) or "type" not in event:
+            self.malformed += 1
+            return
+        self.last_event = event
+        etype = event["type"]
+        if etype == "cell_start":
+            if self.total is None and "total" in event:
+                self.total = event["total"]
+            if "index" in event:
+                self.started.add(event["index"])
+        elif etype == "cell_done":
+            if "index" in event:
+                self.started.add(event["index"])
+                self.done.add(event["index"])
+            if "digest" in event:
+                self.done_digests.add(event["digest"])
+            self.records += event.get("records", 0)
+            worker = event.get("worker")
+            if worker is not None and "rss_kb" in event:
+                self.worker_rss_kb[worker] = event["rss_kb"]
+        elif etype == "cache_hit":
+            self.hits += 1
+            if "index" in event:
+                # a hit is a terminal state for its cell
+                self.started.add(event["index"])
+                self.done.add(event["index"])
+        elif etype == "cache_miss":
+            self.misses += 1
+        elif etype == "cache_stale":
+            self.stale += 1
+        else:
+            self.malformed += 1
+
+    # ------------------------------------------------------------------
+    # derived facts
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        return time.monotonic() - self.t_start
+
+    def cells_per_sec(self) -> float:
+        dt = self.elapsed()
+        return len(self.done) / dt if dt > 0 else 0.0
+
+    def eta_seconds(self) -> "float | None":
+        """Projected seconds to completion (None before it's estimable)."""
+        if self.total is None or not self.done:
+            return None
+        rate = self.cells_per_sec()
+        if rate <= 0:
+            return None
+        return max(0.0, (self.total - len(self.done)) / rate)
+
+    def cache_hit_rate(self) -> "float | None":
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else None
+
+    def incomplete(self) -> set[int]:
+        """Cells that started but never reported a terminal event (the
+        footprint of a killed or lost worker)."""
+        return self.started - self.done
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """The coherent final summary (valid even mid-run or after a
+        worker died: ``done + incomplete == started`` always holds)."""
+        return {
+            "total": self.total,
+            "started": len(self.started),
+            "done": len(self.done),
+            "incomplete": sorted(self.incomplete()),
+            "records": self.records,
+            "cache": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale": self.stale,
+            },
+            "elapsed_seconds": round(self.elapsed(), 3),
+            "cells_per_sec": round(self.cells_per_sec(), 3),
+            "workers": len(self.worker_rss_kb),
+            "worker_rss_kb": dict(sorted(self.worker_rss_kb.items())),
+            "malformed_events": self.malformed,
+        }
+
+    def update_registry(self) -> None:
+        """Mirror the live state into the obs metrics registry (no-ops
+        while the layer is disabled), so ``repro top`` snapshots show
+        the running campaign."""
+        from repro import obs
+
+        obs.gauge("sweep.cells_total").set(self.total or 0)
+        obs.gauge("sweep.cells_done").set(len(self.done))
+        obs.gauge("sweep.cells_per_sec").set(round(self.cells_per_sec(), 3))
+        obs.gauge("sweep.records").set(self.records)
+        hit_rate = self.cache_hit_rate()
+        if hit_rate is not None:
+            obs.gauge("sweep.cache_hit_rate").set(round(hit_rate, 4))
+        for worker, rss in self.worker_rss_kb.items():
+            obs.gauge("worker.rss_kb", labels={"worker": str(worker)}).set(rss)
+
+
+def _fmt_eta(seconds: "float | None") -> str:
+    if seconds is None:
+        return "--"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class ProgressRenderer:
+    """Draws :class:`ProgressState` as a live single-line view.
+
+    On a TTY the line rewrites in place (``\\r``); otherwise one line is
+    printed per refresh interval so CI logs stay bounded.
+    """
+
+    def __init__(
+        self,
+        state: ProgressState,
+        stream=None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.state = state
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_render = 0.0
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def line(self) -> str:
+        state = self.state
+        total = state.total if state.total is not None else "?"
+        parts = [
+            f"cells {len(state.done)}/{total}",
+            f"{state.cells_per_sec():.2f}/s",
+            f"eta {_fmt_eta(state.eta_seconds())}",
+        ]
+        hit_rate = state.cache_hit_rate()
+        if hit_rate is not None:
+            parts.append(
+                f"cache {state.hits}h/{state.misses}m ({hit_rate:.0%})"
+            )
+        if state.worker_rss_kb:
+            peak = max(state.worker_rss_kb.values())
+            parts.append(
+                f"workers {len(state.worker_rss_kb)} "
+                f"(peak rss {peak / 1024:.0f}MB)"
+            )
+        return "sweep: " + "  ".join(parts)
+
+    def maybe_render(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        try:
+            if self._tty:
+                self.stream.write("\r\x1b[2K" + self.line())
+            else:
+                self.stream.write(self.line() + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed/broken stream must never break the run
+
+    def finish(self) -> None:
+        """Final render plus a newline to release the live line."""
+        self.maybe_render(force=True)
+        if self._tty:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass

@@ -1,0 +1,382 @@
+"""The process-local metrics registry (counters, gauges, timers,
+bounded histograms).
+
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.**  :func:`counter` and friends
+   return shared *null* singletons unless the layer is enabled
+   (``REPRO_OBS=1`` or :func:`enable`).  Null mutators are no-op
+   methods on empty-slot objects -- nothing is registered, allocated or
+   formatted.  Hot loops go further: they check an attribute cached at
+   construction time (see ``Machine._obs``) and skip the call entirely.
+2. **No dict lookups in hot paths.**  Metric objects are plain
+   ``__slots__`` records; call sites fetch them once (the registry
+   lookup) and then mutate attributes directly (``c.value += 1``).
+3. **Digest-neutral.**  Metrics never feed back into simulation state,
+   RNG streams, spec digests or canonical result bytes.
+
+Enablement is sampled *when a metric handle is requested*: code that
+caches handles at construction freezes the decision for that object
+(documented on the call sites), code that requests per event follows
+the current state.  :func:`enable` also exports ``REPRO_OBS=1`` so
+executor worker processes inherit the setting.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import os
+import threading
+import time
+
+#: Default histogram bucket bounds (seconds-flavoured, exponential).
+DEFAULT_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+def enabled() -> bool:
+    """Whether the metrics layer is on (``REPRO_OBS=1`` / ``--obs``)."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn the metrics layer on (and export ``REPRO_OBS=1`` so worker
+    processes spawned from here inherit it)."""
+    global _ENABLED
+    _ENABLED = True
+    os.environ["REPRO_OBS"] = "1"
+
+
+def disable() -> None:
+    """Turn the metrics layer off (and clear ``REPRO_OBS``)."""
+    global _ENABLED
+    _ENABLED = False
+    os.environ.pop("REPRO_OBS", None)
+
+
+# ----------------------------------------------------------------------
+# metric types
+# ----------------------------------------------------------------------
+class Counter:
+    """A monotonically increasing count.  Mutate via :meth:`inc` or, in
+    hot loops, ``c.value += n`` on a cached handle."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: "dict | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+class Gauge:
+    """A point-in-time value (cells/sec, RSS, queue depth)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: "dict | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+class Timer:
+    """Accumulated monotonic wall time over a number of sections.
+
+    ``with timer.time(): ...`` for scoped use; :meth:`wrap` produces a
+    timed replacement for a bound method (the sanctioned successor of
+    the bench harness's old ``wrap()`` monkey-patch timer).
+    """
+
+    __slots__ = ("name", "labels", "seconds", "count")
+    kind = "timer"
+
+    def __init__(self, name: str, labels: "dict | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds: float, n: int = 1) -> None:
+        self.seconds += seconds
+        self.count += n
+
+    def time(self) -> "_TimerSection":
+        return _TimerSection(self)
+
+    def wrap(self, fn):
+        """A callable timing every invocation of ``fn`` into this timer."""
+        perf = time.perf_counter
+
+        def timed(*args, **kwargs):
+            t0 = perf()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.seconds += perf() - t0
+                self.count += 1
+
+        timed.__wrapped__ = fn
+        return timed
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "seconds": round(self.seconds, 6),
+            "count": self.count,
+        }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+class _TimerSection:
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerSection":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(time.perf_counter() - self._t0)
+
+
+class Histogram:
+    """A bounded histogram with fixed bucket bounds (no per-sample
+    allocation; one bisect per observation)."""
+
+    __slots__ = ("name", "labels", "bounds", "buckets", "count", "total")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: "tuple | None" = None,
+        labels: "dict | None" = None,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        #: one bucket per bound plus the +Inf overflow bucket
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": round(self.total, 6),
+        }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+# ----------------------------------------------------------------------
+# null twins (returned while the layer is disabled)
+# ----------------------------------------------------------------------
+class _NullMetric:
+    __slots__ = ()
+    name = ""
+    labels: dict = {}
+    value = 0
+    seconds = 0.0
+    count = 0
+    total = 0.0
+
+    def inc(self, n: int = 1) -> None: ...
+    def set(self, value: float) -> None: ...
+    def add(self, *args) -> None: ...
+    def observe(self, value: float) -> None: ...
+    def mean(self) -> float:
+        return 0.0
+
+    def time(self):
+        return _NULL_SECTION
+
+    def wrap(self, fn):
+        return fn
+
+    def to_dict(self) -> dict:
+        return {"kind": "null"}
+
+
+class _NullSection:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None: ...
+
+
+_NULL_SECTION = _NullSection()
+NULL_COUNTER = _NullMetric()
+NULL_GAUGE = _NullMetric()
+NULL_TIMER = _NullMetric()
+NULL_HISTOGRAM = _NullMetric()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def _key(name: str, labels: "dict | None") -> tuple:
+    return (name, tuple(sorted(labels.items())) if labels else ())
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics (process-local).
+
+    Creation is the only locked operation; mutation happens directly on
+    the returned objects (single increments are effectively atomic
+    under the GIL, and obs tolerates torn reads by design -- it renders
+    operational state, not ledgers).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, labels, **kwargs):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels=labels, **kwargs)
+                    self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, labels: "dict | None" = None) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, labels: "dict | None" = None) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def timer(self, name: str, labels: "dict | None" = None) -> Timer:
+        return self._get_or_create(Timer, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: "tuple | None" = None,
+        labels: "dict | None" = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, bounds=bounds)
+
+    def metrics(self) -> list:
+        """All registered metrics, sorted by (name, labels)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def clear(self) -> None:
+        """Drop every metric (tests; never during a run)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def to_dict(self) -> dict:
+        """``name`` (with ``[k=v,...]`` label suffix) -> metric dict."""
+        out = {}
+        for metric in self.metrics():
+            name = metric.name
+            if metric.labels:
+                body = ",".join(
+                    f"{k}={v}" for k, v in sorted(metric.labels.items())
+                )
+                name = f"{name}[{body}]"
+            out[name] = metric.to_dict()
+        return out
+
+
+#: The process-wide registry every default handle lands in.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, labels: "dict | None" = None):
+    """A registered :class:`Counter`, or the shared null when disabled."""
+    return REGISTRY.counter(name, labels) if _ENABLED else NULL_COUNTER
+
+
+def gauge(name: str, labels: "dict | None" = None):
+    return REGISTRY.gauge(name, labels) if _ENABLED else NULL_GAUGE
+
+
+def timer(name: str, labels: "dict | None" = None):
+    return REGISTRY.timer(name, labels) if _ENABLED else NULL_TIMER
+
+
+def histogram(name: str, bounds: "tuple | None" = None,
+              labels: "dict | None" = None):
+    return (
+        REGISTRY.histogram(name, bounds, labels)
+        if _ENABLED
+        else NULL_HISTOGRAM
+    )
+
+
+def spread(samples) -> dict:
+    """min/median/max/stdev of a sample list (the bench-spread shape)."""
+    values = sorted(samples)
+    n = len(values)
+    if not n:
+        return {"min": 0.0, "median": 0.0, "max": 0.0, "stdev": 0.0}
+    mid = n // 2
+    median = values[mid] if n % 2 else (values[mid - 1] + values[mid]) / 2.0
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "min": round(values[0], 6),
+        "median": round(median, 6),
+        "max": round(values[-1], 6),
+        "stdev": round(math.sqrt(var), 6),
+    }

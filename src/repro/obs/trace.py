@@ -1,0 +1,235 @@
+"""Structured trace events: canonical JSON-lines spans.
+
+One :class:`TraceWriter` owns one output stream.  Records are one JSON
+object per line with sorted keys and fixed separators (canonical bytes,
+like every other JSON artefact in the repo), so traces diff cleanly and
+validate trivially.
+
+Record shapes:
+
+* complete span (``ph == "X"``): ``ts``/``dur`` wall seconds (monotonic
+  clock), ``cpu_dur`` process-CPU seconds, ``rss_kb`` sampled at span
+  end, plus ``name``, ``cat``, ``pid`` and free-form ``args``.
+* instant event (``ph == "i"``): ``ts``, ``name``, ``cat``, ``pid``,
+  ``args``.
+
+:func:`to_chrome` converts a JSON-lines file to the Chrome
+``trace_event`` JSON object format (load in ``chrome://tracing`` /
+Perfetto); :func:`validate_trace` is the CI smoke check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+#: Keys every record must carry (the validation contract).
+REQUIRED_KEYS = ("ph", "ts", "name", "cat", "pid")
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _rss_kb() -> int:
+    from repro.obs import rss_kb
+
+    return rss_kb()
+
+
+class Span:
+    """A begin/end section emitted as one complete-span record."""
+
+    __slots__ = ("_writer", "name", "cat", "args", "_t0", "_cpu0")
+
+    def __init__(self, writer: "TraceWriter", name: str, cat: str, args: dict):
+        self._writer = writer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        t1 = time.perf_counter()
+        record = {
+            "ph": "X",
+            "name": self.name,
+            "cat": self.cat,
+            "ts": round(self._t0, 6),
+            "dur": round(t1 - self._t0, 6),
+            "cpu_dur": round(time.process_time() - self._cpu0, 6),
+            "rss_kb": _rss_kb(),
+            "pid": self._writer.pid,
+        }
+        if self.args:
+            record["args"] = self.args
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._writer.emit(record)
+
+
+class TraceWriter:
+    """Serializes trace records to a JSON-lines file (or open stream)."""
+
+    def __init__(self, path_or_stream) -> None:
+        import os
+
+        if hasattr(path_or_stream, "write"):
+            self._fh = path_or_stream
+            self._owns = False
+            self.path = None
+        else:
+            self.path = Path(path_or_stream)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._owns = True
+        self.pid = os.getpid()
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        """Write one canonical JSON-line record."""
+        self._fh.write(_dumps(record) + "\n")
+        self.emitted += 1
+
+    def span(self, name: str, cat: str = "span", **args) -> Span:
+        """A context manager emitting one complete-span record on exit."""
+        return Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "event", **args) -> None:
+        """Emit a point-in-time event record."""
+        record = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": round(time.perf_counter(), 6),
+            "pid": self.pid,
+        }
+        if args:
+            record["args"] = args
+        self.emit(record)
+
+    def cell(
+        self,
+        label: str,
+        t0: float,
+        seconds: float,
+        cpu_seconds: float,
+        rss_kb: int,
+        pid: "int | None" = None,
+        **args,
+    ) -> None:
+        """A complete-span record for one campaign cell, built from the
+        executor ``on_event`` telemetry (cells may have run in a worker
+        process, so the measurements arrive as data, not as a live
+        span)."""
+        record = {
+            "ph": "X",
+            "name": label,
+            "cat": "cell",
+            "ts": round(t0, 6),
+            "dur": round(seconds, 6),
+            "cpu_dur": round(cpu_seconds, 6),
+            "rss_kb": rss_kb,
+            "pid": pid if pid is not None else self.pid,
+        }
+        if args:
+            record["args"] = args
+        self.emit(record)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# conversion / validation
+# ----------------------------------------------------------------------
+def read_trace(path: "str | Path") -> list[dict]:
+    """Parse a JSON-lines trace file into record dicts."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def to_chrome(path: "str | Path") -> dict:
+    """A Chrome ``trace_event``-format document for a JSON-lines trace.
+
+    Wall/CPU seconds become integer microseconds; the per-cell worker
+    pid maps to Chrome's ``pid`` so parallel sweeps render one track
+    per worker.
+    """
+    events = []
+    for rec in read_trace(path):
+        event = {
+            "ph": rec.get("ph", "X"),
+            "name": rec.get("name", "?"),
+            "cat": rec.get("cat", "span"),
+            "ts": int(rec.get("ts", 0.0) * 1e6),
+            "pid": rec.get("pid", 0),
+            "tid": rec.get("pid", 0),
+        }
+        if "dur" in rec:
+            event["dur"] = int(rec["dur"] * 1e6)
+        args = dict(rec.get("args", {}))
+        for extra in ("cpu_dur", "rss_kb", "error"):
+            if extra in rec:
+                args[extra] = rec[extra]
+        if args:
+            event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_trace(path: "str | Path") -> list[str]:
+    """Well-formedness errors in a JSON-lines trace (empty = valid).
+
+    Checks: every line parses as a JSON object, carries the required
+    keys, spans have non-negative durations, and the file is non-empty.
+    """
+    errors: list[str] = []
+    count = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            if not isinstance(rec, dict):
+                errors.append(f"line {lineno}: not an object")
+                continue
+            missing = [k for k in REQUIRED_KEYS if k not in rec]
+            if missing:
+                errors.append(f"line {lineno}: missing keys {missing}")
+            if rec.get("ph") == "X" and rec.get("dur", 0) < 0:
+                errors.append(f"line {lineno}: negative duration")
+    if count == 0:
+        errors.append("trace file has no records")
+    return errors

@@ -230,6 +230,31 @@ class Machine:
             self.step = self._step_event_compiled
         else:
             self.step = self._step_event
+        # -- observability -----------------------------------------------
+        # Handles are frozen here: preallocated counter objects mutated
+        # via `c.value += 1` behind a single is-None check, so the
+        # disabled path costs one attribute load at coarse chokepoints
+        # (uncore wakes, autopilot jumps, snapshots) and nothing per
+        # cycle.  Counters never feed back into simulated state -- the
+        # engines stay bit-identical with obs on or off.
+        from repro import obs
+
+        if obs.enabled():
+            labels = {"engine": engine}
+            self._obs_uncore = obs.counter("machine.uncore_wakes", labels)
+            self._obs_auto = obs.counter("machine.autopilot_jumps", labels)
+            self._obs_deopt = obs.counter("machine.deopt_holds", labels)
+            self._obs_snap = obs.counter("machine.snapshots", labels)
+            self._obs_restore = obs.counter("machine.restores", labels)
+            self._obs_cycles = obs.counter("machine.cycles", labels)
+        else:
+            self._obs_uncore = None
+            self._obs_auto = None
+            self._obs_deopt = None
+            self._obs_snap = None
+            self._obs_restore = None
+            self._obs_cycles = None
+        self._obs_cycles_flushed = 0
 
     # ------------------------------------------------------------------
     # Services wired into cores / uncore models
@@ -402,6 +427,9 @@ class Machine:
         """
         if held and self._compiled:
             self._settle_cores()
+            c = self._obs_deopt
+            if c is not None:
+                c.value += 1
         for core in self.cores:
             core._compiled_hold = held
             if held and core._compiled:
@@ -495,6 +523,9 @@ class Machine:
                 if jump > 1:
                     self.retired_total += n_auto * (jump - 1)
                     self._last_retire_cycle = nxt - 1
+                    c = self._obs_auto
+                    if c is not None:
+                        c.value += 1
                 self.cycles_advanced += jump
                 self.cycle = nxt
             else:
@@ -688,6 +719,9 @@ class Machine:
         is busy every cycle the active-set bookkeeping costs almost
         nothing over the reference stepper.
         """
+        c = self._obs_uncore
+        if c is not None:
+            c.value += 1
         ccx = self.ccx
         wake_banks = self._wake_banks
         ccx_due = self._wake_ccx <= cycle
@@ -1116,6 +1150,9 @@ class Machine:
                 if jump > 1:
                     self.retired_total += n_auto * (jump - 1)
                     self._last_retire_cycle = target - 1
+                    c = self._obs_auto
+                    if c is not None:
+                        c.value += 1
                 self.cycles_advanced += jump
                 self.cycle = target
             else:
@@ -1235,6 +1272,9 @@ class Machine:
                 if jump > 1:
                     self.retired_total += n_auto * (jump - 1)
                     self._last_retire_cycle = nxt - 1
+                    c = self._obs_auto
+                    if c is not None:
+                        c.value += 1
                 self.cycles_advanced += jump
                 self.cycle = nxt
             else:
@@ -1245,6 +1285,59 @@ class Machine:
                     nxt = cycle + 1
                 self.cycles_advanced += nxt - cycle
                 self.cycle = nxt
+
+    # ------------------------------------------------------------------
+    # Observability (digest-neutral; see repro.obs)
+    # ------------------------------------------------------------------
+    def obs_flush(self) -> None:
+        """Publish the cycles advanced since the last flush into the
+        metrics registry.  Called at coarse boundaries (end of a golden
+        chunk, end of a campaign run) so the hot loops never touch the
+        counter -- they keep incrementing the plain ``cycles_advanced``
+        int they always had."""
+        c = self._obs_cycles
+        if c is not None:
+            c.value += self.cycles_advanced - self._obs_cycles_flushed
+            self._obs_cycles_flushed = self.cycles_advanced
+
+    def instrument_phases(self, uncore=None, snapshot=None):
+        """Install per-phase timers on this machine's chokepoints.
+
+        ``uncore`` times :meth:`_step_uncore`; ``snapshot`` times
+        :meth:`snapshot` and :meth:`delta_snapshot`.  Pass
+        :class:`repro.obs.Timer` objects (their :meth:`~repro.obs.Timer.
+        wrap` provides the timing shim).  Returns a zero-argument
+        callable that removes the instrumentation.  This is the
+        sanctioned phase-timing API -- the bench harness uses it for its
+        golden phase breakdown instead of monkey-patching.
+
+        Timing shims observe, never alter: wrapped methods run the
+        originals unchanged, so instrumented runs stay bit-identical.
+        The reference engine drives its uncore inline rather than
+        through :meth:`_step_uncore`, so ``uncore`` only measures the
+        event/compiled engines (callers skip phase timing for
+        reference, as the bench always has).
+        """
+        originals = []
+        if uncore is not None:
+            originals.append(("_step_uncore", self._step_uncore))
+            self._step_uncore = uncore.wrap(self._step_uncore)
+        if snapshot is not None:
+            originals.append(("snapshot", self.snapshot))
+            originals.append(("delta_snapshot", self.delta_snapshot))
+            self.snapshot = snapshot.wrap(self.snapshot)
+            self.delta_snapshot = snapshot.wrap(self.delta_snapshot)
+
+        def remove() -> None:
+            for name, fn in originals:
+                # the instance attribute shadowed the bound method;
+                # deleting it restores normal class dispatch
+                if getattr(fn, "__self__", None) is self:
+                    delattr(self, name)
+                else:  # pragma: no cover - nested instrumentation
+                    setattr(self, name, fn)
+
+        return remove
 
     def all_halted(self) -> bool:
         return all(core.all_halted() for core in self.cores)
@@ -1262,6 +1355,9 @@ class Machine:
     def snapshot(self) -> dict:
         if self._compiled:
             self._settle_cores()
+        c = self._obs_snap
+        if c is not None:
+            c.value += 1
         return {
             "cycle": self.cycle,
             "dram": self.dram.snapshot(),
@@ -1284,6 +1380,9 @@ class Machine:
             raise RuntimeError(
                 "cannot restore while a delta snapshot capture is active"
             )
+        c = self._obs_restore
+        if c is not None:
+            c.value += 1
         self.cycle = snap["cycle"]
         self.dram.restore(snap["dram"])
         self.output = dict(snap["output"])
@@ -1350,6 +1449,9 @@ class Machine:
             raise RuntimeError("delta_capture_begin() was not called")
         if self._compiled:
             self._settle_cores()
+        c = self._obs_snap
+        if c is not None:
+            c.value += 1
         all_dirty = self._reference
         store_dirty = self._store_log_dirty
         last_store = self.last_store_cycle

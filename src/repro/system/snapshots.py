@@ -99,7 +99,18 @@ class SnapshotChain(Mapping):
             raise KeyError(cycle)
         if self._memo is not None and self._memo[0] == cycle:
             return self._memo[1]
-        snap = self._materialize(cycle)
+        from repro import obs
+
+        obs.counter("snapshots.materialized").inc()
+        tracer = obs.tracer()
+        if tracer is None:
+            with obs.timer("snapshots.materialize_seconds").time():
+                snap = self._materialize(cycle)
+        else:
+            with obs.timer("snapshots.materialize_seconds").time(), tracer.span(
+                "snapshot_materialize", "snapshot", cycle=cycle
+            ):
+                snap = self._materialize(cycle)
         self._memo = (cycle, snap)
         return snap
 
