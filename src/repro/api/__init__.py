@@ -16,11 +16,18 @@ executor), get canonical results back::
 """
 
 from repro.api.executor import (
+    EXECUTOR_BACKENDS,
     CachingExecutor,
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    executor_backend,
+    load_cached_result,
     make_executor,
+    register_backend,
+    result_cache_path,
+    shard_by_digest,
+    store_cached_result,
 )
 from repro.api.grid import Grid
 from repro.api.result import (
@@ -43,6 +50,7 @@ __all__ = [
     "CachingExecutor",
     "DEFAULT_MACHINE",
     "DEFAULT_SCALE",
+    "EXECUTOR_BACKENDS",
     "Executor",
     "ExperimentResult",
     "ExperimentSpec",
@@ -56,5 +64,11 @@ __all__ = [
     "SerialExecutor",
     "Session",
     "dumps_canonical",
+    "executor_backend",
+    "load_cached_result",
     "make_executor",
+    "register_backend",
+    "result_cache_path",
+    "shard_by_digest",
+    "store_cached_result",
 ]

@@ -37,12 +37,15 @@ worker events through a manager queue drained by a coordinator thread,
 so ``on_event`` always runs in the calling process.  Events are pure
 telemetry: emitting them never changes results (the serial/parallel
 byte-identity contract holds with or without a callback), and callback
-exceptions are swallowed so observers cannot break a sweep.
+exceptions are swallowed so observers cannot break a sweep -- the first
+failure per run is logged once so a broken consumer stays diagnosable.
 """
 
 from __future__ import annotations
 
 import inspect
+import itertools
+import logging
 import os
 import queue as queue_mod
 import threading
@@ -54,6 +57,8 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 from repro.api.result import ExperimentResult
 from repro.api.spec import ExperimentSpec
 from repro.api.session import Session
+
+logger = logging.getLogger(__name__)
 
 #: Progress callback: receives plain-dict events, return value ignored.
 OnEvent = Callable[[dict], None]
@@ -77,8 +82,42 @@ def _accepts_on_event(executor) -> bool:
         return False
 
 
+class _SafeEmitter:
+    """Per-run ``on_event`` wrapper: callback errors never break the
+    sweep, but the *first* failure of a run is logged (warn once, then
+    stay silent) so a broken progress consumer is diagnosable."""
+
+    __slots__ = ("_callback", "warned")
+
+    def __init__(self, callback: OnEvent) -> None:
+        self._callback = callback
+        self.warned = False
+
+    def __call__(self, event: dict) -> None:
+        try:
+            self._callback(event)
+        except Exception:
+            if not self.warned:
+                self.warned = True
+                logger.warning(
+                    "on_event callback raised; suppressing further "
+                    "callback errors for this run",
+                    exc_info=True,
+                )
+
+
+def _emitter(on_event: "OnEvent | None") -> "_SafeEmitter | None":
+    """Wrap a raw callback once per run (idempotent on re-wrap)."""
+    if on_event is None or isinstance(on_event, _SafeEmitter):
+        return on_event
+    return _SafeEmitter(on_event)
+
+
 def _safe_emit(on_event: "OnEvent | None", event: dict) -> None:
     if on_event is None:
+        return
+    if isinstance(on_event, _SafeEmitter):
+        on_event(event)
         return
     try:
         on_event(event)
@@ -132,6 +171,7 @@ class SerialExecutor:
         specs = list(specs)
         if on_event is None:
             return [session.run(spec) for spec in specs]
+        on_event = _emitter(on_event)
         results = []
         total = len(specs)
         for i, spec in enumerate(specs):
@@ -254,6 +294,7 @@ class ParallelExecutor:
     ) -> list[ExperimentResult]:
         import multiprocessing as mp
 
+        on_event = _emitter(on_event)
         total = len(specs)
         tasks = [(i, total, spec.to_dict()) for i, spec in enumerate(specs)]
         with mp.Manager() as manager:
@@ -296,8 +337,82 @@ class ParallelExecutor:
 
 
 # ----------------------------------------------------------------------
-# on-disk result cache
+# on-disk result cache: shared content-addressed store helpers
 # ----------------------------------------------------------------------
+# The (spec digest -> canonical result JSON) store is shared machinery:
+# CachingExecutor uses it as a sweep cache, and the cluster subsystem
+# (repro.cluster) uses the same directory as its result bus -- workers
+# land results here and the coordinator merges from it, so retried or
+# straggler-re-dispatched cells are free cache hits.
+
+#: Process-local suffix counter for unique temp names (see
+#: :func:`store_cached_result`).
+_TMP_IDS = itertools.count()
+
+
+def result_cache_path(cache_dir: "str | Path", spec: ExperimentSpec) -> Path:
+    """Where a spec's canonical result JSON lives under ``cache_dir``."""
+    return Path(cache_dir) / f"{spec.digest()}.json"
+
+
+def load_cached_result(
+    path: Path, spec: ExperimentSpec
+) -> "tuple[ExperimentResult | None, bool]":
+    """Load one cache entry: ``(result, stale)``.
+
+    ``(None, False)`` -- no entry.  ``(None, True)`` -- an entry existed
+    but was corrupt (interrupted write) or embedded a different spec
+    (digest collision or tampering); callers recompute and rewrite.
+    """
+    if not path.is_file():
+        return None, False
+    try:
+        cached = ExperimentResult.load(path)
+    except (ValueError, KeyError, OSError):
+        return None, True
+    if cached.spec != spec:
+        return None, True
+    return cached, False
+
+
+def store_cached_result(path: Path, result: ExperimentResult) -> None:
+    """Atomically publish one result under its final cache name.
+
+    Write-then-rename so an interrupted save never leaves a half-written
+    entry under the final name.  The temp name is unique *per writer*
+    (pid + counter): with many processes landing the same digest
+    concurrently -- exactly what the cluster result bus does on retries
+    and stragglers -- a shared temp path would let one writer truncate
+    or rename another's in-flight bytes.  Unique names make every
+    rename atomic and last-writer-wins, and identical specs produce
+    byte-identical files so the winner never matters.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_IDS)}.tmp")
+    result.save(tmp)
+    tmp.replace(path)
+
+
+def shard_by_digest(
+    specs: Sequence[ExperimentSpec], shards: int
+) -> "list[list[tuple[int, ExperimentSpec]]]":
+    """Deterministically partition cells across ``shards`` workers.
+
+    Each cell goes to ``int(digest, 16) % shards`` -- a pure function of
+    the spec content, so every coordinator (and every retry of the same
+    sweep) computes the same placement without coordination.  Returns
+    ``shards`` lists of ``(original_index, spec)`` pairs; the original
+    index rides along so worker telemetry and result merging speak the
+    grid's reporting order.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    out: "list[list[tuple[int, ExperimentSpec]]]" = [[] for _ in range(shards)]
+    for index, spec in enumerate(specs):
+        out[int(spec.digest(), 16) % shards].append((index, spec))
+    return out
+
+
 class CachingExecutor:
     """Skips specs whose canonical result JSON already exists on disk.
 
@@ -321,7 +436,7 @@ class CachingExecutor:
         self.last_stale = 0
 
     def _path_for(self, spec: ExperimentSpec) -> Path:
-        return self.cache_dir / f"{spec.digest()}.json"
+        return result_cache_path(self.cache_dir, spec)
 
     def run(
         self,
@@ -331,38 +446,27 @@ class CachingExecutor:
     ) -> list[ExperimentResult]:
         from repro import obs
 
+        on_event = _emitter(on_event)
         specs = list(specs)
         results: "list[ExperimentResult | None]" = [None] * len(specs)
         miss_indices: list[int] = []
         self.last_stale = 0
         for i, spec in enumerate(specs):
-            path = self._path_for(spec)
-            stale = False
-            if path.is_file():
-                try:
-                    cached = ExperimentResult.load(path)
-                except (ValueError, KeyError, OSError):
-                    # truncated/corrupt file (e.g. an interrupted write):
-                    # a miss, recomputed and rewritten below
-                    cached = None
-                    stale = True
-                if cached is not None and cached.spec != spec:
-                    cached = None
-                    stale = True
-                if cached is not None:
-                    results[i] = cached
-                    obs.counter("cache.hits").inc()
-                    _safe_emit(
-                        on_event,
-                        {
-                            "type": "cache_hit",
-                            "index": i,
-                            "total": len(specs),
-                            "digest": spec.digest(),
-                            "label": spec.label(),
-                        },
-                    )
-                    continue
+            cached, stale = load_cached_result(self._path_for(spec), spec)
+            if cached is not None:
+                results[i] = cached
+                obs.counter("cache.hits").inc()
+                _safe_emit(
+                    on_event,
+                    {
+                        "type": "cache_hit",
+                        "index": i,
+                        "total": len(specs),
+                        "digest": spec.digest(),
+                        "label": spec.label(),
+                    },
+                )
+                continue
             if stale:
                 self.last_stale += 1
                 obs.counter("cache.stale").inc()
@@ -395,14 +499,8 @@ class CachingExecutor:
                 len(specs),
                 on_event,
             )
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
             for i, result in zip(miss_indices, fresh):
-                path = self._path_for(specs[i])
-                # write-then-rename so an interrupted save never leaves
-                # a half-written cache entry under the final name
-                tmp = path.with_suffix(".json.tmp")
-                result.save(tmp)
-                tmp.replace(path)
+                store_cached_result(self._path_for(specs[i]), result)
                 results[i] = result
         return results  # type: ignore[return-value]
 
@@ -428,13 +526,75 @@ class CachingExecutor:
         return self.inner.run(miss_specs, on_event=remapped)
 
 
+# ----------------------------------------------------------------------
+# backend registry
+# ----------------------------------------------------------------------
+#: name -> factory(**options) for every known executor backend.  New
+#: backends (e.g. the cluster coordinator) register themselves here so
+#: ``make_executor`` and third-party callers can reach them by name
+#: without import-time coupling.
+EXECUTOR_BACKENDS: "dict[str, Callable[..., Executor]]" = {}
+
+
+def register_backend(name: str, factory: "Callable[..., Executor]") -> None:
+    """Register (or replace) an executor backend factory under ``name``."""
+    EXECUTOR_BACKENDS[name] = factory
+
+
+def executor_backend(name: str) -> "Callable[..., Executor]":
+    """Resolve a backend factory by name.
+
+    The cluster backend lives in :mod:`repro.cluster` and registers
+    itself on import; resolving ``"cluster"`` triggers that import so
+    callers never need to know the package layout.
+    """
+    if name not in EXECUTOR_BACKENDS and name == "cluster":
+        import repro.cluster  # noqa: F401  (registration side effect)
+    try:
+        return EXECUTOR_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {name!r}; "
+            f"known: {sorted(EXECUTOR_BACKENDS)}"
+        ) from None
+
+
+register_backend("serial", lambda session=None: SerialExecutor(session))
+register_backend(
+    "parallel",
+    lambda workers=None, chunksize=1: ParallelExecutor(
+        workers=workers, chunksize=chunksize
+    ),
+)
+register_backend(
+    "caching",
+    lambda cache_dir=".sweep-cache", inner=None: CachingExecutor(
+        cache_dir, inner
+    ),
+)
+
+
 def make_executor(
     workers: int = 1,
     chunksize: int = 1,
     cache_dir: "str | Path | None" = None,
+    cluster: int = 0,
+    launcher=None,
+    engine: "str | None" = None,
 ) -> Executor:
     """``workers <= 1`` selects the serial path, anything else the pool;
-    ``cache_dir`` wraps the chosen executor in a :class:`CachingExecutor`."""
+    ``cache_dir`` wraps the chosen executor in a :class:`CachingExecutor`.
+    ``cluster > 0`` instead builds a ``repro.cluster.ClusterExecutor``
+    fanning out over that many worker agents (``launcher`` picks the
+    transport, ``cache_dir`` names the shared result bus, ``engine`` the
+    digest-neutral cycle engine the workers run)."""
+    if cluster:
+        return executor_backend("cluster")(
+            workers=cluster,
+            launcher=launcher,
+            cache_dir=cache_dir,
+            engine=engine,
+        )
     if workers <= 1:
         executor: Executor = SerialExecutor()
     else:

@@ -13,6 +13,11 @@ and ``reference`` -- the everything-every-cycle baseline stepper):
 * ``sweep``: a small injection grid through the experiment API's serial
   executor, platform construction included.
 
+A fifth scenario, ``cluster``, is a *fabric* comparison rather than an
+engine row: the same grid through the serial executor and through a
+2-worker localhost cluster (:mod:`repro.cluster`) with a fresh result
+bus per repeat, reporting cells/sec for each and the scaling ratio.
+
 Throughput is reported as simulated cycles per wall-clock second;
 ``Machine.cycles_advanced`` counts every advanced cycle including the
 event engine's one-hop idle skips, so all engines are measured against
@@ -63,7 +68,7 @@ BENCH_BENCHMARK = "fft"
 BENCH_SCALE = 1.0 / 40_000.0
 BENCH_SEED = 2015
 
-ALL_SCENARIOS = ("golden", "injection", "qrr", "sweep")
+ALL_SCENARIOS = ("golden", "injection", "qrr", "sweep", "cluster")
 
 
 @dataclass(frozen=True)
@@ -257,6 +262,66 @@ def _bench_sweep(engine: str, settings: BenchSettings, log) -> dict:
     return out
 
 
+def _bench_cluster(settings: BenchSettings, log) -> dict:
+    """Cluster scaling: one grid through the serial executor vs a
+    2-worker localhost cluster.
+
+    Not an engine scenario -- the engines already have their own rows;
+    this one compares execution *fabrics* on the default engine.  The
+    cluster runs without a pinned ``cache_dir``, so every repeat gets a
+    fresh private result bus and pays real computation (worker spawn
+    included) instead of cache hits; cells/sec is therefore the honest
+    end-to-end distributed throughput, launch overhead and all.
+    """
+    from repro.cluster import ClusterExecutor
+
+    specs = [
+        ExperimentSpec(
+            benchmark=BENCH_BENCHMARK,
+            component=component,
+            mode="injection",
+            machine=BENCH_MACHINE,
+            scale=BENCH_SCALE,
+            seed=seed,
+            n=settings.sweep_runs,
+        )
+        for component in ("l2c", "mcu")
+        for seed in (BENCH_SEED, BENCH_SEED + 1)
+    ]
+    cells = len(specs)
+    workers = 2
+
+    def _fabric(make_executor_fn) -> dict:
+        def once():
+            make_executor_fn().run(specs)
+
+        seconds, samples, _ = _timed(once, settings.repeats)
+        return {
+            "seconds": round(seconds, 6),
+            "cells_per_sec": round(cells / seconds, 3) if seconds else 0.0,
+            "spread": spread(samples),
+        }
+
+    serial = _fabric(SerialExecutor)
+    cluster = _fabric(lambda: ClusterExecutor(workers=workers))
+    entry = {
+        "cells": cells,
+        "workers": workers,
+        "serial": serial,
+        f"cluster_{workers}": cluster,
+    }
+    if cluster["seconds"]:
+        entry["speedup_cluster_vs_serial"] = round(
+            serial["seconds"] / cluster["seconds"], 3
+        )
+    log(
+        f"  cluster: serial {serial['cells_per_sec']:.2f} cells/s vs "
+        f"{workers}-worker {cluster['cells_per_sec']:.2f} cells/s "
+        f"(x{entry.get('speedup_cluster_vs_serial', 0.0):.2f})"
+    )
+    return entry
+
+
 _SCENARIO_FNS = {
     "golden": _bench_golden,
     "injection": _bench_injection,
@@ -272,6 +337,12 @@ def run_benches(
     settings = settings if settings is not None else BenchSettings()
     results: dict = {}
     for scenario in settings.scenarios:
+        if scenario == "cluster":
+            # a fabric comparison, not an engine row: serial vs a
+            # 2-worker localhost cluster on the default engine
+            log("cluster:")
+            results["cluster"] = _bench_cluster(settings, log)
+            continue
         fn = _SCENARIO_FNS[scenario]
         log(f"{scenario}:")
         entry: dict = {}

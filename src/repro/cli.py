@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli sweep --n 20 --workers 4 --json out.json
     python -m repro.cli sweep --n 20 --cache-dir .sweep-cache
     python -m repro.cli sweep --n 20 --workers 4 --progress --trace-out t.jsonl
+    python -m repro.cli sweep --n 20 --cluster 4 --cache-dir .cluster-bus
+    python -m repro.cli sweep --n 20 --cluster 8 --launcher ssh:host1,host2
     python -m repro.cli faults list
     python -m repro.cli bench --tiny --json BENCH_step.json
     python -m repro.cli bench --fault-guard
@@ -179,14 +181,21 @@ def cmd_sweep(args) -> int:
     if not specs:
         print("sweep grid is empty (no valid component x benchmark cells)")
         return 1
-    executor = make_executor(
-        workers=args.workers,
-        chunksize=args.chunksize,
-        cache_dir=args.cache_dir,
-    )
+    try:
+        executor = make_executor(
+            workers=args.workers,
+            chunksize=args.chunksize,
+            cache_dir=args.cache_dir,
+            cluster=args.cluster,
+            launcher=args.launcher,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        raise _UserError(str(exc)) from exc
+    workers = args.cluster if args.cluster else args.workers
     print(
         f"sweep: {len(specs)} cells x {args.n} runs "
-        f"({executor.__class__.__name__}, workers={args.workers})"
+        f"({executor.__class__.__name__}, workers={workers})"
     )
     on_event = _sweep_observer(args, total=len(specs))
     results = executor.run(specs, on_event=on_event)
@@ -199,6 +208,18 @@ def cmd_sweep(args) -> int:
         )
         if executor.last_stale:
             summary += f" ({executor.last_stale} stale entries recomputed)"
+        print(summary)
+    if args.cluster:
+        summary = f"cluster: {args.cluster} workers ({executor.launcher!r})"
+        if executor.last_worker_deaths:
+            summary += (
+                f"; {executor.last_worker_deaths} worker deaths, "
+                f"{executor.last_requeued} cells re-queued"
+            )
+        if executor.last_fallback:
+            summary += (
+                f"; {executor.last_fallback} cells computed locally"
+            )
         print(summary)
 
     _print_sweep_tables(results)
@@ -287,6 +308,11 @@ class _SweepObserver:
             self.trace.instant(
                 etype, "cache", digest=event.get("digest"),
                 index=event.get("index"),
+            )
+        elif etype == "worker_dead":
+            self.trace.instant(
+                etype, "cluster", worker=event.get("worker"),
+                requeued=event.get("requeued"),
             )
 
     def finish(self) -> None:
@@ -436,6 +462,19 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """The cluster worker agent: newline-delimited JSON on stdin/stdout
+    (launched by a ClusterExecutor coordinator, rarely by hand)."""
+    from repro.cluster import run_worker
+
+    return run_worker(
+        args.cache_dir,
+        engine=args.engine,
+        worker_id=args.worker_id,
+        heartbeat=args.heartbeat,
+    )
+
+
 def cmd_top(args) -> int:
     """Render obs state: a snapshot file a sweep wrote (``--obs-out``),
     or this process's own registry when no file is given."""
@@ -569,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size; 1 runs serially")
     p.add_argument("--chunksize", type=int, default=1)
+    p.add_argument("--cluster", type=int, default=0, metavar="N",
+                   help="shard the grid across N 'repro worker' agents "
+                        "(overrides --workers; results stay byte-identical "
+                        "to a serial sweep)")
+    p.add_argument("--launcher", default=None, metavar="SPEC",
+                   help="cluster worker transport: 'local' (default) or "
+                        "'ssh:host1,host2' (requires a shared --cache-dir)")
     p.add_argument("--json", default=None, metavar="FILE",
                    help="persist all cell results ('-' for stdout)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -595,7 +641,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where to write the canonical bench document "
                         "('-' for stdout only)")
     p.add_argument("--scenarios", nargs="+", default=None,
-                   choices=["golden", "injection", "qrr", "sweep"])
+                   choices=["golden", "injection", "qrr", "sweep",
+                            "cluster"])
     p.add_argument("--check-against", default=None, metavar="BASELINE",
                    help="fail (exit 1) if event-engine cycles/sec regresses "
                         "more than --tolerance below this baseline JSON")
@@ -620,6 +667,20 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(ENGINES),
                    help="cycle engine the obs-overhead guard runs on")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a cluster worker agent (JSON lines on stdin/stdout)",
+    )
+    p.add_argument("--cache-dir", required=True, metavar="DIR",
+                   help="the shared content-addressed result bus directory")
+    p.add_argument("--engine", default=None, choices=list(ENGINES),
+                   help="cycle engine for this worker's session "
+                        "(digest-neutral)")
+    p.add_argument("--worker-id", type=int, default=0)
+    p.add_argument("--heartbeat", type=float, default=2.0, metavar="SECONDS",
+                   help="liveness beacon period (<= 0 disables)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "top", help="render obs metrics (table or Prometheus format)"

@@ -1,0 +1,139 @@
+"""Pluggable worker transports: how a ``repro worker`` agent is spawned.
+
+A launcher turns (worker id, worker CLI args) into a live process whose
+stdin/stdout speak the :mod:`repro.cluster.protocol` line protocol.  Two
+launchers ship:
+
+* :class:`LocalLauncher` -- a localhost subprocess running this
+  interpreter (``python -m repro.cli worker ...``).  This is the
+  CI-tested path and the default.
+* :class:`SshLauncher` -- the same agent over ``ssh HOST ...``,
+  round-robining worker ids across the configured hosts.  It holds the
+  exact same interface, so the coordinator cannot tell the transports
+  apart; remote hosts need this package importable (set ``pythonpath``)
+  and the cache directory must be a *shared* filesystem (the result bus
+  is content-addressed files, not bytes over the wire).
+
+Both expose ``command(worker_id, worker_args)`` separately from
+``launch`` so placement and argv construction are testable without
+spawning anything.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Launcher(Protocol):
+    """Anything that can spawn one worker agent process."""
+
+    def command(self, worker_id: int, worker_args: "list[str]") -> "list[str]":
+        """The argv that would be spawned for ``worker_id``."""
+        ...
+
+    def launch(
+        self, worker_id: int, worker_args: "list[str]"
+    ) -> subprocess.Popen:
+        """Spawn the agent with piped text-mode stdin/stdout."""
+        ...
+
+
+def _spawn(argv: "list[str]") -> subprocess.Popen:
+    # line-buffered text pipes: the protocol is one JSON object per line
+    return subprocess.Popen(
+        argv,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        bufsize=1,
+    )
+
+
+class LocalLauncher:
+    """Spawns worker agents as localhost subprocesses of this python."""
+
+    def __init__(self, python: "str | None" = None) -> None:
+        self.python = python if python is not None else sys.executable
+
+    def command(self, worker_id: int, worker_args: "list[str]") -> "list[str]":
+        return [self.python, "-m", "repro.cli", "worker", *worker_args]
+
+    def launch(
+        self, worker_id: int, worker_args: "list[str]"
+    ) -> subprocess.Popen:
+        return _spawn(self.command(worker_id, worker_args))
+
+    def __repr__(self) -> str:  # shows up in sweep logs
+        return "LocalLauncher()"
+
+
+class SshLauncher:
+    """Spawns worker agents over ssh, round-robin across ``hosts``.
+
+    ``BatchMode=yes`` keeps a missing key from hanging the sweep at an
+    interactive prompt -- an unreachable host just dies, which the
+    coordinator's health loop treats like any other dead worker.
+    """
+
+    def __init__(
+        self,
+        hosts: "list[str] | tuple[str, ...]",
+        python: str = "python3",
+        pythonpath: "str | None" = None,
+        ssh_args: "tuple[str, ...]" = ("-o", "BatchMode=yes"),
+    ) -> None:
+        hosts = [h for h in hosts if h]
+        if not hosts:
+            raise ValueError("SshLauncher needs at least one host")
+        self.hosts = list(hosts)
+        self.python = python
+        self.pythonpath = pythonpath
+        self.ssh_args = tuple(ssh_args)
+
+    def host_for(self, worker_id: int) -> str:
+        return self.hosts[worker_id % len(self.hosts)]
+
+    def command(self, worker_id: int, worker_args: "list[str]") -> "list[str]":
+        remote: "list[str]" = []
+        if self.pythonpath:
+            remote += ["env", f"PYTHONPATH={self.pythonpath}"]
+        remote += [self.python, "-m", "repro.cli", "worker", *worker_args]
+        return ["ssh", *self.ssh_args, self.host_for(worker_id), *remote]
+
+    def launch(
+        self, worker_id: int, worker_args: "list[str]"
+    ) -> subprocess.Popen:
+        return _spawn(self.command(worker_id, worker_args))
+
+    def __repr__(self) -> str:
+        return f"SshLauncher(hosts={self.hosts!r})"
+
+
+def parse_launcher(text: "str | Launcher | None") -> Launcher:
+    """Resolve a CLI launcher spec into a launcher instance.
+
+    ``None``/``"local"`` -> :class:`LocalLauncher`; ``"ssh:h1,h2"`` ->
+    :class:`SshLauncher` over those hosts (``REPRO_CLUSTER_PYTHON`` and
+    ``REPRO_CLUSTER_PYTHONPATH`` override the remote interpreter and
+    import path).  An already-built launcher passes through.
+    """
+    if text is None:
+        return LocalLauncher()
+    if not isinstance(text, str):
+        return text
+    if text == "local":
+        return LocalLauncher()
+    if text.startswith("ssh:"):
+        hosts = [h.strip() for h in text[len("ssh:"):].split(",") if h.strip()]
+        return SshLauncher(
+            hosts,
+            python=os.environ.get("REPRO_CLUSTER_PYTHON", "python3"),
+            pythonpath=os.environ.get("REPRO_CLUSTER_PYTHONPATH"),
+        )
+    raise ValueError(
+        f"unknown launcher spec {text!r}; use 'local' or 'ssh:host1,host2'"
+    )

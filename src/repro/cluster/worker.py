@@ -1,0 +1,220 @@
+"""The ``repro worker`` agent: shard cells in, bus results + events out.
+
+One worker process owns one :class:`~repro.api.session.Session` (so
+cells sharing a platform key amortize their golden run, exactly like a
+process-pool worker) and loops over protocol messages on stdin:
+
+* For each cell of a shard it first consults the shared result bus --
+  a prior sweep, a peer, or an earlier attempt of a re-dispatched cell
+  may already have landed the digest, making the cell a free cache hit.
+* Misses run through the session and are published with the atomic
+  unique-temp rename of :func:`repro.api.executor.store_cached_result`;
+  ``cell_result`` is sent strictly *after* the rename, so the
+  coordinator only ever counts durable results as landed.
+* Executor telemetry (``cell_start``/``cell_done``/``cache_*``, the
+  shapes every backend emits) is forwarded as ``event`` messages with
+  the cell's grid index, and a daemon thread heartbeats liveness + RSS.
+
+A cell that raises reports ``cell_error`` and the worker moves on; the
+coordinator decides whether to retry elsewhere or compute it locally.
+The agent exits on ``shutdown`` or EOF (coordinator death), never
+killing the host it runs on.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+from repro.api.executor import (
+    _cell_events,
+    _done_event,
+    load_cached_result,
+    result_cache_path,
+    store_cached_result,
+)
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    LineChannel,
+    parse_line,
+)
+from repro.system.machine import DEFAULT_ENGINE
+
+from pathlib import Path
+
+
+def _heartbeat_loop(channel: LineChannel, stop: threading.Event, interval: float) -> None:
+    from repro.obs import rss_kb
+
+    pid = os.getpid()
+    while not stop.wait(interval):
+        ok = channel.send(
+            {
+                "type": "heartbeat",
+                "pid": pid,
+                "rss_kb": rss_kb(),
+                "t": round(time.time(), 6),
+            }
+        )
+        if not ok:
+            return  # stdout gone: the coordinator died; the main loop
+            # will see EOF on stdin and exit
+
+
+def _run_cell(
+    session: Session,
+    cache_dir: Path,
+    spec: ExperimentSpec,
+    index: int,
+    total: int,
+    emit,
+) -> str:
+    """Resolve one cell against the bus (hit) or the session (miss).
+
+    Returns the spec digest once the result is durable in the bus.
+    Event shapes mirror :class:`~repro.api.executor.CachingExecutor` and
+    the serial executor exactly -- a cluster sweep's stream is the same
+    dialect every other backend speaks.
+    """
+    path = result_cache_path(cache_dir, spec)
+    digest = spec.digest()
+    cached, stale = load_cached_result(path, spec)
+    if cached is not None:
+        emit(
+            {
+                "type": "cache_hit",
+                "index": index,
+                "total": total,
+                "digest": digest,
+                "label": spec.label(),
+            }
+        )
+        return digest
+    if stale:
+        emit(
+            {
+                "type": "cache_stale",
+                "index": index,
+                "digest": digest,
+                "label": spec.label(),
+            }
+        )
+    emit(
+        {
+            "type": "cache_miss",
+            "index": index,
+            "digest": digest,
+            "label": spec.label(),
+        }
+    )
+    start = _cell_events(spec, index, total)
+    emit(start)
+    t0, cpu0 = time.perf_counter(), time.process_time()
+    result = session.run(spec)
+    done = _done_event(
+        start,
+        time.perf_counter() - t0,
+        time.process_time() - cpu0,
+        len(result.records),
+    )
+    store_cached_result(path, result)
+    emit(done)
+    return digest
+
+
+def _run_shard(
+    session: Session, cache_dir: Path, cells, channel: LineChannel
+) -> None:
+    def emit(event: dict) -> None:
+        channel.send({"type": "event", "event": event})
+
+    landed = 0
+    for cell in cells:
+        index = cell.get("index", -1)
+        total = cell.get("total", 0)
+        try:
+            spec = ExperimentSpec.from_dict(cell["spec"])
+            digest = _run_cell(session, cache_dir, spec, index, total, emit)
+        except Exception as exc:  # a broken cell must not kill the shard
+            channel.send(
+                {
+                    "type": "cell_error",
+                    "index": index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            continue
+        channel.send({"type": "cell_result", "index": index, "digest": digest})
+        landed += 1
+    channel.send({"type": "shard_done", "count": landed})
+
+
+def run_worker(
+    cache_dir: "str | Path",
+    *,
+    engine: "str | None" = None,
+    worker_id: int = 0,
+    heartbeat: float = 2.0,
+    in_stream=None,
+    out_stream=None,
+) -> int:
+    """The agent main loop (the body of ``repro worker``).
+
+    ``in_stream``/``out_stream`` default to stdin/stdout; tests inject
+    in-memory streams to exercise the protocol without a subprocess.
+    ``heartbeat <= 0`` disables the beacon thread.
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    channel = LineChannel(out_stream)
+    cache_dir = Path(cache_dir)
+    session = Session(engine=engine if engine is not None else DEFAULT_ENGINE)
+    channel.send(
+        {
+            "type": "ready",
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "worker_id": worker_id,
+        }
+    )
+    stop = threading.Event()
+    if heartbeat > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(channel, stop, heartbeat),
+            name="repro-worker-heartbeat",
+            daemon=True,
+        ).start()
+    try:
+        for line in in_stream:
+            message = parse_line(line)
+            if message is None:
+                if line.strip():
+                    channel.send(
+                        {
+                            "type": "error",
+                            "message": f"malformed message: {line[:80]!r}",
+                        }
+                    )
+                continue
+            mtype = message.get("type")
+            if mtype == "shutdown":
+                break
+            if mtype == "shard":
+                _run_shard(
+                    session, cache_dir, message.get("cells", ()), channel
+                )
+            else:
+                channel.send(
+                    {
+                        "type": "error",
+                        "message": f"unknown message type {mtype!r}",
+                    }
+                )
+    finally:
+        stop.set()
+    return 0

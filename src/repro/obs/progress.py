@@ -10,6 +10,10 @@ callback (see :mod:`repro.api.executor`):
 * ``cache_hit`` / ``cache_miss`` / ``cache_stale`` -- the caching
   executor resolved a cell against the on-disk store (``stale`` =
   corrupt or mismatched entry, recomputed).
+* ``worker_heartbeat`` / ``worker_dead`` -- cluster coordinator
+  liveness stream: a worker agent's periodic RSS beacon, and the
+  declaration that one died (its unfinished cells were re-queued, so
+  their ``cell_start`` entries resolve later from another worker).
 
 :class:`ProgressState` folds the stream into campaign-level facts
 (done counts, cells/sec, ETA, cache hit rate, per-worker RSS) and
@@ -38,6 +42,7 @@ class ProgressState:
         self.stale = 0
         self.records = 0
         self.worker_rss_kb: dict[int, int] = {}
+        self.worker_deaths = 0
         self.t_start = time.monotonic()
         self.last_event: "dict | None" = None
         self.malformed = 0
@@ -76,6 +81,13 @@ class ProgressState:
             self.misses += 1
         elif etype == "cache_stale":
             self.stale += 1
+        elif etype == "worker_heartbeat":
+            worker = event.get("worker")
+            if worker is not None and "rss_kb" in event:
+                self.worker_rss_kb[worker] = event["rss_kb"]
+        elif etype == "worker_dead":
+            self.worker_deaths += 1
+            self.worker_rss_kb.pop(event.get("worker"), None)
         else:
             self.malformed += 1
 
@@ -126,6 +138,7 @@ class ProgressState:
             "cells_per_sec": round(self.cells_per_sec(), 3),
             "workers": len(self.worker_rss_kb),
             "worker_rss_kb": dict(sorted(self.worker_rss_kb.items())),
+            "worker_deaths": self.worker_deaths,
             "malformed_events": self.malformed,
         }
 
@@ -142,6 +155,8 @@ class ProgressState:
         hit_rate = self.cache_hit_rate()
         if hit_rate is not None:
             obs.gauge("sweep.cache_hit_rate").set(round(hit_rate, 4))
+        if self.worker_deaths:
+            obs.gauge("sweep.worker_deaths").set(self.worker_deaths)
         for worker, rss in self.worker_rss_kb.items():
             obs.gauge("worker.rss_kb", labels={"worker": str(worker)}).set(rss)
 
@@ -194,6 +209,8 @@ class ProgressRenderer:
                 f"workers {len(state.worker_rss_kb)} "
                 f"(peak rss {peak / 1024:.0f}MB)"
             )
+        if state.worker_deaths:
+            parts.append(f"deaths {state.worker_deaths}")
         return "sweep: " + "  ".join(parts)
 
     def maybe_render(self, force: bool = False) -> None:

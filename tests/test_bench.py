@@ -96,6 +96,24 @@ class TestHarness:
         assert entry["event"]["cycles"] == entry["reference"]["cycles"]
         assert entry["event"]["cycles"] == entry["compiled"]["cycles"]
 
+    def test_cluster_scenario_reports_fabric_comparison(self):
+        settings = BenchSettings(
+            repeats=1, sweep_runs=1, scenarios=("cluster",)
+        )
+        doc = run_benches(settings)
+        entry = doc["results"]["cluster"]
+        assert entry["cells"] == 4
+        assert entry["workers"] == 2
+        # a fabric comparison, not an engine row: serial vs a 2-worker
+        # localhost cluster, each with throughput + repeat spread
+        for fabric in ("serial", "cluster_2"):
+            assert entry[fabric]["seconds"] > 0
+            assert entry[fabric]["cells_per_sec"] > 0
+            assert set(entry[fabric]["spread"]) == {
+                "min", "median", "max", "stdev",
+            }
+        assert entry["speedup_cluster_vs_serial"] > 0
+
 
 class TestHostNoise:
     def _spread_doc(self, stdev):

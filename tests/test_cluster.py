@@ -1,0 +1,329 @@
+"""Distributed sweep fabric (repro.cluster): sharding, launchers, the
+worker protocol, and the coordinator's byte-identity + failure-recovery
+contract."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+
+import pytest
+
+from repro.api import (
+    Grid,
+    SerialExecutor,
+    dumps_canonical,
+    make_executor,
+    result_cache_path,
+    shard_by_digest,
+)
+from repro.cluster import (
+    PROTOCOL_VERSION,
+    ClusterExecutor,
+    LocalLauncher,
+    SshLauncher,
+    parse_launcher,
+)
+from repro.cluster.protocol import dumps_line, parse_line, shard_message
+from repro.cluster.worker import run_worker
+from repro.obs import ProgressState
+from repro.system.machine import MachineConfig
+
+CFG = MachineConfig(cores=2, threads_per_core=2, l2_banks=8, l2_sets=8)
+
+
+def _grid_specs(components=("l2c", "mcu")):
+    return Grid(
+        components=components,
+        benchmarks=("fft",),
+        seeds=(2015,),
+        mode="injection",
+        n=2,
+        machine=CFG,
+        scale=5e-6,
+    ).specs()
+
+
+def _blobs(results):
+    return [dumps_canonical(r.to_dict()) for r in results]
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+def test_shard_by_digest_partitions_every_cell_exactly_once():
+    specs = _grid_specs(components=("l2c", "mcu", "ccx"))
+    for shards in (1, 2, 3, 5):
+        parts = shard_by_digest(specs, shards)
+        assert len(parts) == shards
+        seen = sorted(i for part in parts for i, _ in part)
+        assert seen == list(range(len(specs)))
+        # placement is a pure function of content
+        again = shard_by_digest(specs, shards)
+        assert [[i for i, _ in part] for part in parts] == [
+            [i for i, _ in part] for part in again
+        ]
+
+
+def test_shard_by_digest_is_content_addressed():
+    specs = _grid_specs()
+    parts = shard_by_digest(specs, 4)
+    for shard_id, part in enumerate(parts):
+        for index, spec in part:
+            assert int(spec.digest(), 16) % 4 == shard_id
+            assert specs[index] is spec
+
+
+# ----------------------------------------------------------------------
+# launchers
+# ----------------------------------------------------------------------
+def test_local_launcher_command():
+    argv = LocalLauncher(python="py").command(0, ["--cache-dir", "/bus"])
+    assert argv == ["py", "-m", "repro.cli", "worker", "--cache-dir", "/bus"]
+
+
+def test_ssh_launcher_round_robin_and_command():
+    launcher = SshLauncher(
+        ["hostA", "hostB"], python="py3", pythonpath="/opt/repro/src"
+    )
+    assert [launcher.host_for(i) for i in range(4)] == [
+        "hostA", "hostB", "hostA", "hostB",
+    ]
+    argv = launcher.command(1, ["--cache-dir", "/bus"])
+    assert argv[:3] == ["ssh", "-o", "BatchMode=yes"]
+    assert argv[3] == "hostB"
+    assert argv[4:] == [
+        "env", "PYTHONPATH=/opt/repro/src",
+        "py3", "-m", "repro.cli", "worker", "--cache-dir", "/bus",
+    ]
+
+
+def test_parse_launcher_specs(monkeypatch):
+    assert isinstance(parse_launcher(None), LocalLauncher)
+    assert isinstance(parse_launcher("local"), LocalLauncher)
+    monkeypatch.setenv("REPRO_CLUSTER_PYTHON", "py9")
+    monkeypatch.setenv("REPRO_CLUSTER_PYTHONPATH", "/x/src")
+    ssh = parse_launcher("ssh:a, b")
+    assert isinstance(ssh, SshLauncher)
+    assert ssh.hosts == ["a", "b"]
+    assert ssh.python == "py9"
+    assert ssh.pythonpath == "/x/src"
+    built = LocalLauncher()
+    assert parse_launcher(built) is built
+    with pytest.raises(ValueError):
+        parse_launcher("carrier-pigeon:coop1")
+
+
+# ----------------------------------------------------------------------
+# worker protocol (in-process, no subprocess)
+# ----------------------------------------------------------------------
+def test_run_worker_protocol_in_process(tmp_path):
+    specs = _grid_specs(components=("l2c",))
+    cells = [(i, spec.to_dict()) for i, spec in enumerate(specs)]
+    script = (
+        dumps_line(shard_message(cells, len(specs)))
+        + "\n"
+        + "not json\n"
+        + dumps_line({"type": "mystery"})
+        + "\n"
+        + dumps_line({"type": "shutdown"})
+        + "\n"
+    )
+    out = io.StringIO()
+    rc = run_worker(
+        tmp_path / "bus",
+        worker_id=3,
+        heartbeat=0,
+        in_stream=io.StringIO(script),
+        out_stream=out,
+    )
+    assert rc == 0
+
+    messages = [parse_line(line) for line in out.getvalue().splitlines()]
+    assert all(m is not None for m in messages)
+
+    ready = messages[0]
+    assert ready["type"] == "ready"
+    assert ready["protocol"] == PROTOCOL_VERSION
+    assert ready["worker_id"] == 3
+    assert ready["pid"] == os.getpid()
+
+    by_type = {}
+    for m in messages:
+        by_type.setdefault(m["type"], []).append(m)
+    # one durable result per cell, sent after the rename: file must exist
+    assert [m["index"] for m in by_type["cell_result"]] == list(
+        range(len(specs))
+    )
+    for m in by_type["cell_result"]:
+        path = result_cache_path(tmp_path / "bus", specs[m["index"]])
+        assert path.exists()
+        assert m["digest"] == specs[m["index"]].digest()
+    assert by_type["shard_done"][0]["count"] == len(specs)
+    # the standard telemetry dialect is forwarded as event messages
+    etypes = [m["event"]["type"] for m in by_type["event"]]
+    assert etypes.count("cache_miss") == len(specs)
+    assert etypes.count("cell_start") == len(specs)
+    assert etypes.count("cell_done") == len(specs)
+    # malformed + unknown messages are complained about, never fatal
+    assert len(by_type["error"]) == 2
+
+
+def test_run_worker_cells_are_cache_hits_second_time(tmp_path):
+    specs = _grid_specs(components=("l2c",))
+    cells = [(i, spec.to_dict()) for i, spec in enumerate(specs)]
+    script = dumps_line(shard_message(cells, len(specs))) + "\n"
+    run_worker(
+        tmp_path / "bus",
+        heartbeat=0,
+        in_stream=io.StringIO(script),
+        out_stream=io.StringIO(),
+    )
+    out = io.StringIO()
+    run_worker(
+        tmp_path / "bus",
+        heartbeat=0,
+        in_stream=io.StringIO(script),
+        out_stream=out,
+    )
+    messages = [parse_line(line) for line in out.getvalue().splitlines()]
+    etypes = [
+        m["event"]["type"] for m in messages if m and m["type"] == "event"
+    ]
+    assert etypes.count("cache_hit") == len(specs)
+    assert "cell_start" not in etypes
+
+
+# ----------------------------------------------------------------------
+# coordinator: byte-identity, warm bus, failure recovery
+# ----------------------------------------------------------------------
+def test_cluster_sweep_byte_identical_to_serial(tmp_path):
+    specs = _grid_specs()
+    serial = SerialExecutor().run(specs)
+    executor = ClusterExecutor(
+        workers=2, cache_dir=tmp_path / "bus", heartbeat_interval=0.2
+    )
+    clustered = executor.run(specs)
+    assert _blobs(clustered) == _blobs(serial)
+    assert executor.last_worker_deaths == 0
+    assert executor.last_fallback == 0
+
+
+def test_cluster_sweep_warm_bus_is_all_hits(tmp_path):
+    specs = _grid_specs()
+    executor = ClusterExecutor(
+        workers=2, cache_dir=tmp_path / "bus", heartbeat_interval=0.2
+    )
+    first = executor.run(specs)
+
+    events = []
+    second = executor.run(specs, on_event=events.append)
+    assert _blobs(second) == _blobs(first)
+    etypes = [e["type"] for e in events]
+    assert etypes.count("cache_hit") == len(specs)
+    assert "cell_start" not in etypes
+    assert executor.last_fallback == 0
+
+
+def test_make_executor_cluster_backend(tmp_path):
+    specs = _grid_specs(components=("l2c",))
+    executor = make_executor(cluster=2, cache_dir=tmp_path / "bus")
+    assert isinstance(executor, ClusterExecutor)
+    assert _blobs(executor.run(specs)) == _blobs(SerialExecutor().run(specs))
+
+
+def test_cluster_survives_sigkilled_worker(tmp_path):
+    specs = _grid_specs(components=("l2c", "mcu", "ccx"))
+    serial = SerialExecutor().run(specs)
+    shards = shard_by_digest(specs, 2)
+    big = max(range(2), key=lambda w: len(shards[w]))
+    big_indices = {i for i, _ in shards[big]}
+    assert big_indices  # the victim must own at least one cell
+
+    state = ProgressState(total=len(specs))
+    killed = []
+
+    def on_event(event):
+        state.handle(event)
+        if (
+            event.get("type") == "cell_done"
+            and not killed
+            and event.get("index") in big_indices
+        ):
+            killed.append(event["worker"])
+            os.kill(event["worker"], signal.SIGKILL)
+
+    executor = ClusterExecutor(
+        workers=2, cache_dir=tmp_path / "bus", heartbeat_interval=0.2
+    )
+    clustered = executor.run(specs, on_event=on_event)
+
+    assert killed, "the victim worker never reported a cell_done"
+    assert executor.last_worker_deaths == 1
+    # re-dispatch + bus merge keep the sweep byte-identical regardless
+    assert _blobs(clustered) == _blobs(serial)
+    # progress stayed coherent through the death
+    report = state.report()
+    assert report["done"] == len(specs)
+    assert report["incomplete"] == []
+    assert report["worker_deaths"] == 1
+
+
+class _BrokenLauncher:
+    """A launcher whose workers die instantly (unreachable host stand-in)."""
+
+    def command(self, worker_id, worker_args):
+        return ["sh", "-c", "exit 1"]
+
+    def launch(self, worker_id, worker_args):
+        return subprocess.Popen(
+            self.command(worker_id, worker_args),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+
+
+def test_cluster_falls_back_to_local_when_all_workers_die(tmp_path):
+    specs = _grid_specs(components=("l2c",))
+    executor = ClusterExecutor(
+        workers=2,
+        launcher=_BrokenLauncher(),
+        cache_dir=tmp_path / "bus",
+        heartbeat_interval=0.2,
+        max_retries=1,
+    )
+    results = executor.run(specs, on_event=ProgressState().handle)
+    assert _blobs(results) == _blobs(SerialExecutor().run(specs))
+    assert executor.last_worker_deaths == 2
+    assert executor.last_fallback == len(specs)
+
+
+def test_cluster_worker_cli_entrypoint(tmp_path):
+    """The LocalLauncher argv really is a working agent (ready handshake
+    and clean shutdown over real pipes)."""
+    argv = LocalLauncher().command(
+        0, ["--cache-dir", str(tmp_path / "bus"), "--heartbeat", "0"]
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        argv,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        bufsize=1,
+        env=env,
+    )
+    try:
+        ready = json.loads(proc.stdout.readline())
+        assert ready["type"] == "ready"
+        assert ready["protocol"] == PROTOCOL_VERSION
+        proc.stdin.write(dumps_line({"type": "shutdown"}) + "\n")
+        proc.stdin.flush()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()

@@ -1,0 +1,129 @@
+"""The executor seam contract, enforced across every backend.
+
+Any ``Executor`` implementation must return results in spec order,
+byte-identical to the serial reference, and emit the standard telemetry
+dialect.  These tests run the same assertions over the serial, process
+pool, caching, and cluster backends so a new backend (or a regression in
+an old one) fails the same way everywhere.
+"""
+
+import logging
+
+import pytest
+
+from repro.api import (
+    CachingExecutor,
+    Grid,
+    ParallelExecutor,
+    SerialExecutor,
+    dumps_canonical,
+)
+from repro.cluster import ClusterExecutor
+from repro.obs import ProgressState
+from repro.system.machine import MachineConfig
+
+CFG = MachineConfig(cores=2, threads_per_core=2, l2_banks=8, l2_sets=8)
+
+CELL_START_KEYS = {"type", "index", "total", "digest", "label", "worker", "t"}
+CELL_DONE_KEYS = CELL_START_KEYS | {
+    "seconds", "cpu_seconds", "rss_kb", "records",
+}
+
+
+def _specs():
+    return Grid(
+        components=("l2c", "mcu"),
+        benchmarks=("fft",),
+        seeds=(2015,),
+        mode="injection",
+        n=2,
+        machine=CFG,
+        scale=5e-6,
+    ).specs()
+
+
+BACKENDS = {
+    "serial": lambda tmp_path: SerialExecutor(),
+    "parallel": lambda tmp_path: ParallelExecutor(workers=2),
+    "caching-serial": lambda tmp_path: CachingExecutor(
+        tmp_path / "cache", SerialExecutor()
+    ),
+    "caching-parallel": lambda tmp_path: CachingExecutor(
+        tmp_path / "cache", ParallelExecutor(workers=2)
+    ),
+    "cluster": lambda tmp_path: ClusterExecutor(
+        workers=2, cache_dir=tmp_path / "bus", heartbeat_interval=0.2
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    specs = _specs()
+    return [dumps_canonical(r.to_dict()) for r in SerialExecutor().run(specs)]
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_backend_matches_serial_baseline(backend, tmp_path, serial_baseline):
+    specs = _specs()
+    results = BACKENDS[backend](tmp_path).run(specs)
+    # spec order: result i is the materialization of spec i
+    assert [r.spec.digest() for r in results] == [s.digest() for s in specs]
+    # byte identity: canonical JSON equals the serial reference
+    assert [
+        dumps_canonical(r.to_dict()) for r in results
+    ] == serial_baseline
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_backend_event_stream_contract(backend, tmp_path):
+    specs = _specs()
+    state = ProgressState(total=len(specs))
+    events = []
+
+    def on_event(event):
+        events.append(event)
+        state.handle(event)
+
+    BACKENDS[backend](tmp_path).run(specs, on_event=on_event)
+
+    starts = [e for e in events if e["type"] == "cell_start"]
+    dones = [e for e in events if e["type"] == "cell_done"]
+    assert len(starts) == len(specs)
+    assert len(dones) == len(specs)
+    for event in starts:
+        assert set(event) == CELL_START_KEYS
+        assert event["total"] == len(specs)
+        assert event["digest"] == specs[event["index"]].digest()
+    for event in dones:
+        assert set(event) == CELL_DONE_KEYS
+        assert event["records"] >= 1
+    # the stream folds into a coherent, complete progress report
+    report = state.report()
+    assert report["done"] == len(specs)
+    assert report["incomplete"] == []
+    assert report["malformed_events"] == 0
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_backend_survives_raising_callback(backend, tmp_path, caplog,
+                                           serial_baseline):
+    """on_event consumers must never be able to break a sweep (and the
+    first failure is logged once, not once per event)."""
+    specs = _specs()
+
+    def bomb(event):
+        raise RuntimeError("observer went rogue")
+
+    with caplog.at_level(logging.WARNING, logger="repro.api.executor"):
+        results = BACKENDS[backend](tmp_path).run(specs, on_event=bomb)
+
+    assert [
+        dumps_canonical(r.to_dict()) for r in results
+    ] == serial_baseline
+    warnings = [
+        r for r in caplog.records
+        if r.name == "repro.api.executor"
+        and "on_event callback raised" in r.getMessage()
+    ]
+    assert len(warnings) == 1

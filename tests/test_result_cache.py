@@ -6,7 +6,9 @@ from repro.api import (
     Grid,
     SerialExecutor,
     dumps_canonical,
+    load_cached_result,
     make_executor,
+    result_cache_path,
 )
 from repro.system.machine import MachineConfig
 
@@ -120,3 +122,55 @@ def test_make_executor_wraps_with_cache(tmp_path):
     executor = make_executor(workers=1, cache_dir=tmp_path / "c")
     assert isinstance(executor, CachingExecutor)
     assert make_executor(workers=1).__class__ is SerialExecutor
+
+
+# ----------------------------------------------------------------------
+# concurrent writers (the cluster result bus shares one cache directory)
+# ----------------------------------------------------------------------
+def _hammer_store(cache_dir, rounds):
+    """Publish the same cell's result repeatedly (child process body)."""
+    from repro.api import (
+        SerialExecutor,
+        result_cache_path,
+        store_cached_result,
+    )
+
+    spec = _grid_specs()[0]
+    (result,) = SerialExecutor().run([spec])
+    path = result_cache_path(cache_dir, spec)
+    for _ in range(rounds):
+        store_cached_result(path, result)
+
+
+def test_concurrent_writers_same_digest(tmp_path):
+    """Two processes publishing the same digest must never collide.
+
+    The regression this pins down: a shared ``<digest>.json.tmp``
+    staging name let one writer rename the other's half-written temp
+    file (or crash on a vanished one).  Unique per-writer temp names +
+    atomic rename make last-writer-wins safe -- identical specs produce
+    byte-identical files, so *which* writer wins never matters.
+    """
+    import multiprocessing
+
+    cache_dir = tmp_path / "bus"
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(target=_hammer_store, args=(cache_dir, 40))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    assert [p.exitcode for p in procs] == [0, 0]
+
+    spec = _grid_specs()[0]
+    path = result_cache_path(cache_dir, spec)
+    cached, stale = load_cached_result(path, spec)
+    assert cached is not None and not stale
+    assert dumps_canonical(cached.to_dict()) == dumps_canonical(
+        SerialExecutor().run([spec])[0].to_dict()
+    )
+    # no staging debris left behind
+    assert list(cache_dir.glob("*.tmp")) == []
