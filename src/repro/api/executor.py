@@ -31,6 +31,16 @@ plain dicts as cells progress:
 * ``{"type": "cache_hit" | "cache_miss" | "cache_stale", "index",
   "digest", "label"}`` -- from :class:`CachingExecutor` (``stale`` =
   an on-disk entry existed but was corrupt or mismatched).
+* ``{"type": "cell_retry", "index", "digest", "label", "attempt",
+  "delay", "error"}`` -- an attempt failed and the cell re-queues
+  after ``delay`` seconds (:class:`repro.resilience.RetryPolicy`).
+* ``{"type": "cell_timeout", "index", "digest", "label", "worker",
+  "attempt", "timeout"}`` -- a cell outlived the per-cell deadline;
+  its hosting worker process is killed and the cell re-queues.
+* ``{"type": "cell_exhausted", "index", "digest", "label", "attempt",
+  "error"}`` -- a cell spent its whole attempt budget; the sweep
+  finishes the remaining cells, then raises :class:`CellFailure`
+  naming the culprit.
 
 Serial executors call back inline; :class:`ParallelExecutor` routes
 worker events through a manager queue drained by a coordinator thread,
@@ -39,6 +49,28 @@ telemetry: emitting them never changes results (the serial/parallel
 byte-identity contract holds with or without a callback), and callback
 exceptions are swallowed so observers cannot break a sweep -- the first
 failure per run is logged once so a broken consumer stays diagnosable.
+
+Resilience
+----------
+
+``run`` additionally accepts two keyword-only resilience hooks (the
+in-process half of the crash-safety story; the durable half is
+:mod:`repro.resilience`):
+
+* ``stop`` -- a ``threading.Event``; once set, the executor stops
+  *between* cells, drains whatever is in flight, and raises
+  :class:`repro.resilience.SweepInterrupted` with a consistent,
+  resumable state (:class:`repro.resilience.GracefulShutdown` sets it
+  from SIGINT/SIGTERM).
+* ``on_result`` -- ``(index, result)`` called the moment a cell's
+  result materialises, *before* the batch completes.
+  :class:`CachingExecutor` threads this through its inner executor to
+  land each fresh result on disk as it finishes, so a sweep killed
+  mid-flight keeps every completed cell.
+
+Retry/timeout state is operational, never semantic: it cannot enter
+spec digests, cache keys, or canonical result bytes, so a retried
+sweep stays byte-identical to an untroubled one.
 """
 
 from __future__ import annotations
@@ -48,6 +80,7 @@ import itertools
 import logging
 import os
 import queue as queue_mod
+import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -57,11 +90,37 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 from repro.api.result import ExperimentResult
 from repro.api.spec import ExperimentSpec
 from repro.api.session import Session
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.shutdown import SweepInterrupted
 
 logger = logging.getLogger(__name__)
 
 #: Progress callback: receives plain-dict events, return value ignored.
 OnEvent = Callable[[dict], None]
+
+#: Incremental result hook: ``(index, result)`` as each cell lands.
+OnResult = Callable[[int, ExperimentResult], None]
+
+
+class CellFailure(Exception):
+    """One cell ran out of attempts (worker crash, deadline, or raise)
+    while the rest of the sweep completed.  Naming the culprit -- index,
+    label, digest, and why -- is the point: a ten-thousand-cell sweep
+    must never die anonymously, and every *other* cell's result is
+    already durable by the time this propagates."""
+
+    def __init__(
+        self, index: int, digest: str, label: str, reason: str, attempts: int
+    ) -> None:
+        self.index = index
+        self.digest = digest
+        self.label = label
+        self.reason = reason
+        self.attempts = attempts
+        super().__init__(
+            f"cell {index} ({label}, digest {digest}) failed after "
+            f"{attempts} attempt(s): {reason}"
+        )
 
 
 @runtime_checkable
@@ -73,13 +132,17 @@ class Executor(Protocol):
     ) -> list[ExperimentResult]: ...
 
 
-def _accepts_on_event(executor) -> bool:
-    """Whether an executor's ``run`` takes the ``on_event`` keyword
-    (third-party executors predating progress streaming may not)."""
+def _accepts_kw(executor, name: str) -> bool:
+    """Whether an executor's ``run`` takes keyword ``name`` (third-party
+    executors predating progress streaming or resilience may not)."""
     try:
-        return "on_event" in inspect.signature(executor.run).parameters
+        return name in inspect.signature(executor.run).parameters
     except (TypeError, ValueError):
         return False
+
+
+def _accepts_on_event(executor) -> bool:
+    return _accepts_kw(executor, "on_event")
 
 
 class _SafeEmitter:
@@ -156,29 +219,97 @@ def _done_event(start: dict, seconds: float, cpu: float, records: int) -> dict:
 
 
 class SerialExecutor:
-    """Runs specs one after another in a single session."""
+    """Runs specs one after another in a single session.
 
-    def __init__(self, session: "Session | None" = None) -> None:
+    ``retry`` (a :class:`repro.resilience.RetryPolicy`) turns per-cell
+    exceptions into backoff-delayed re-attempts; without one a raising
+    cell propagates immediately (the historical contract).
+    """
+
+    def __init__(
+        self,
+        session: "Session | None" = None,
+        retry: "RetryPolicy | None" = None,
+    ) -> None:
         self.session = session
+        self.retry = retry
 
     def run(
         self,
         specs: Sequence[ExperimentSpec],
         *,
         on_event: "OnEvent | None" = None,
+        stop: "threading.Event | None" = None,
+        on_result: "OnResult | None" = None,
     ) -> list[ExperimentResult]:
         session = self.session if self.session is not None else Session()
         specs = list(specs)
-        if on_event is None:
+        if (
+            on_event is None
+            and stop is None
+            and on_result is None
+            and self.retry is None
+        ):
             return [session.run(spec) for spec in specs]
         on_event = _emitter(on_event)
         results = []
         total = len(specs)
         for i, spec in enumerate(specs):
+            if stop is not None and stop.is_set():
+                raise SweepInterrupted(done=len(results), total=total)
+            result = self._run_cell(session, spec, i, total, on_event)
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
+
+    def _run_cell(
+        self, session: Session, spec: ExperimentSpec, i: int, total: int,
+        on_event: "OnEvent | None",
+    ) -> ExperimentResult:
+        attempt = 0
+        while True:
             start = _cell_events(spec, i, total)
             _safe_emit(on_event, start)
             t0, cpu0 = time.perf_counter(), time.process_time()
-            result = session.run(spec)
+            try:
+                result = session.run(spec)
+            except Exception as exc:
+                if self.retry is None:
+                    raise
+                attempt += 1
+                reason = f"{type(exc).__name__}: {exc}"
+                if self.retry.exhausted(attempt):
+                    _safe_emit(
+                        on_event,
+                        {
+                            "type": "cell_exhausted",
+                            "index": i,
+                            "digest": start["digest"],
+                            "label": start["label"],
+                            "attempt": attempt,
+                            "error": reason,
+                        },
+                    )
+                    raise CellFailure(
+                        i, start["digest"], start["label"],
+                        f"raised {reason}", attempt,
+                    ) from exc
+                delay = self.retry.backoff(start["digest"], attempt)
+                _safe_emit(
+                    on_event,
+                    {
+                        "type": "cell_retry",
+                        "index": i,
+                        "digest": start["digest"],
+                        "label": start["label"],
+                        "attempt": attempt,
+                        "delay": round(delay, 6),
+                        "error": reason,
+                    },
+                )
+                time.sleep(delay)
+                continue
             _safe_emit(
                 on_event,
                 _done_event(
@@ -188,8 +319,7 @@ class SerialExecutor:
                     len(result.records),
                 ),
             )
-            results.append(result)
-        return results
+            return result
 
 
 # ----------------------------------------------------------------------
@@ -255,28 +385,50 @@ class ParallelExecutor:
 
     Args:
         workers: pool size; defaults to ``os.cpu_count()``.
-        chunksize: specs handed to a worker per dispatch.  Values > 1
-            help when consecutive specs share a platform key (the grid
-            groups cells per component, so per-benchmark batches reuse
-            golden runs inside one worker).
+        chunksize: specs handed to a worker per dispatch on the fast
+            (no-callback, no-retry) ``pool.map`` path.  Values > 1 help
+            when consecutive specs share a platform key.  The supervised
+            path dispatches one cell per task so failures attribute to a
+            single cell.
+        retry: a :class:`repro.resilience.RetryPolicy`.  With one, a
+            crashed pool worker costs a bounded re-attempt of only the
+            cells it was running, a hung cell is killed at the per-cell
+            deadline and re-queued, and a raising cell re-runs with
+            backoff.  Without one, a crashed worker fails *the cells it
+            took down* (naming them via :class:`CellFailure`) while the
+            remaining cells still complete -- never the historical
+            anonymous ``BrokenProcessPool`` for the whole sweep.
     """
 
-    def __init__(self, workers: "int | None" = None, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        chunksize: int = 1,
+        retry: "RetryPolicy | None" = None,
+    ) -> None:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         self.chunksize = max(1, chunksize)
+        self.retry = retry
 
     def run(
         self,
         specs: Sequence[ExperimentSpec],
         *,
         on_event: "OnEvent | None" = None,
+        stop: "threading.Event | None" = None,
+        on_result: "OnResult | None" = None,
     ) -> list[ExperimentResult]:
         specs = list(specs)
         if not specs:
             return []
-        if on_event is None:
+        if (
+            on_event is None
+            and stop is None
+            and on_result is None
+            and self.retry is None
+        ):
             # pool.map preserves input order, so results line up with specs
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 dicts = list(
@@ -287,32 +439,60 @@ class ParallelExecutor:
                     )
                 )
             return [ExperimentResult.from_dict(d) for d in dicts]
-        return self._run_with_events(specs, on_event)
+        return self._run_supervised(specs, _emitter(on_event), stop, on_result)
 
-    def _run_with_events(
-        self, specs: list, on_event: OnEvent
+    # ------------------------------------------------------------------
+    # supervised path: per-cell futures, live-cell tracking, recovery
+    # ------------------------------------------------------------------
+    def _run_supervised(
+        self,
+        specs: list,
+        on_event: "OnEvent | None",
+        stop: "threading.Event | None",
+        on_result: "OnResult | None",
     ) -> list[ExperimentResult]:
         import multiprocessing as mp
 
-        on_event = _emitter(on_event)
         total = len(specs)
-        tasks = [(i, total, spec.to_dict()) for i, spec in enumerate(specs)]
+        state = {
+            "tasks": [(i, total, spec.to_dict()) for i, spec in enumerate(specs)],
+            "digests": [spec.digest() for spec in specs],
+            "labels": [spec.label() for spec in specs],
+            "results": {},   # index -> ExperimentResult
+            "failures": {},  # index -> CellFailure
+            "attempts": {i: 0 for i in range(total)},
+            # live cells, maintained by the drain thread from worker
+            # events (cell_start tells us which pid is running which
+            # index -- the handle the deadline enforcer kills by)
+            "lock": threading.Lock(),
+            "started_at": {},  # index -> monotonic start
+            "cell_pid": {},    # index -> worker pid
+        }
         with mp.Manager() as manager:
             # a manager-proxy queue is picklable under every start
             # method, so it can ride in as a pool initializer argument
             event_queue = manager.Queue()
-            stop = threading.Event()
+            drain_stop = threading.Event()
 
             def drain() -> None:
                 while True:
                     try:
                         event = event_queue.get(timeout=0.2)
                     except queue_mod.Empty:
-                        if stop.is_set():
+                        if drain_stop.is_set():
                             return
                         continue
                     except (EOFError, OSError):
                         return  # manager went away (shutdown race)
+                    etype = event.get("type") if isinstance(event, dict) else None
+                    if etype == "cell_start":
+                        with state["lock"]:
+                            state["started_at"][event["index"]] = time.monotonic()
+                            state["cell_pid"][event["index"]] = event.get("worker")
+                    elif etype == "cell_done":
+                        with state["lock"]:
+                            state["started_at"].pop(event["index"], None)
+                            state["cell_pid"].pop(event["index"], None)
                     _safe_emit(on_event, event)
 
             drainer = threading.Thread(
@@ -320,20 +500,242 @@ class ParallelExecutor:
             )
             drainer.start()
             try:
-                with ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_init_worker_events,
-                    initargs=(event_queue,),
-                ) as pool:
-                    dicts = list(
-                        pool.map(
-                            _run_spec_dict_ev, tasks, chunksize=self.chunksize
+                while True:
+                    pending = [
+                        i for i in range(total)
+                        if i not in state["results"] and i not in state["failures"]
+                    ]
+                    if not pending:
+                        break
+                    if stop is not None and stop.is_set():
+                        raise SweepInterrupted(
+                            done=len(state["results"]), total=total
                         )
+                    # one pool lifetime; a kill or crash inside ends it
+                    # and the loop starts a fresh pool for the survivors
+                    self._one_pool(
+                        pending, state, event_queue, on_event, stop, on_result
                     )
             finally:
-                stop.set()
+                drain_stop.set()
                 drainer.join(timeout=5.0)
-        return [ExperimentResult.from_dict(d) for d in dicts]
+        if state["failures"]:
+            failures = state["failures"]
+            raise failures[min(failures)]
+        return [state["results"][i] for i in range(total)]
+
+    def _one_pool(
+        self, pending, state, event_queue, on_event, stop, on_result
+    ) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        retry = self.retry
+        results = state["results"]
+        failures = state["failures"]
+        attempts = state["attempts"]
+        digests, labels = state["digests"], state["labels"]
+        with state["lock"]:
+            state["started_at"].clear()
+            state["cell_pid"].clear()
+        landed_before = len(results)
+        charged: set = set()   # cells already billed an attempt this pool
+        deferred: list = []    # (ready_at, index) waiting out a backoff
+        broken = False
+        draining = False
+
+        def exhaust(index: int, reason: str) -> None:
+            failures[index] = CellFailure(
+                index, digests[index], labels[index], reason, attempts[index]
+            )
+            _safe_emit(
+                on_event,
+                {
+                    "type": "cell_exhausted",
+                    "index": index,
+                    "digest": digests[index],
+                    "label": labels[index],
+                    "attempt": attempts[index],
+                    "error": reason,
+                },
+            )
+
+        def emit_retry(index: int, delay: float, reason: str) -> None:
+            _safe_emit(
+                on_event,
+                {
+                    "type": "cell_retry",
+                    "index": index,
+                    "digest": digests[index],
+                    "label": labels[index],
+                    "attempt": attempts[index],
+                    "delay": round(delay, 6),
+                    "error": reason,
+                },
+            )
+
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker_events,
+            initargs=(event_queue,),
+        )
+        futures: dict = {}
+        try:
+            for i in pending:
+                futures[pool.submit(_run_spec_dict_ev, state["tasks"][i])] = i
+            outstanding = set(futures)
+            while outstanding or deferred:
+                if outstanding:
+                    done, outstanding = wait(
+                        outstanding, timeout=0.1, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        index = futures[fut]
+                        if fut.cancelled():
+                            continue
+                        exc = fut.exception()
+                        if exc is None:
+                            result = ExperimentResult.from_dict(fut.result())
+                            results[index] = result
+                            # a deadline race can bill a cell whose
+                            # result still made it out -- the result wins
+                            failures.pop(index, None)
+                            if on_result is not None:
+                                on_result(index, result)
+                        elif isinstance(exc, BrokenProcessPool):
+                            broken = True
+                        elif index in charged:
+                            pass  # already billed by the deadline enforcer
+                        else:
+                            attempts[index] += 1
+                            if retry is None:
+                                raise exc
+                            reason = f"raised {type(exc).__name__}: {exc}"
+                            if retry.exhausted(attempts[index]):
+                                exhaust(index, reason)
+                            else:
+                                delay = retry.backoff(
+                                    digests[index], attempts[index]
+                                )
+                                emit_retry(index, delay, reason)
+                                deferred.append(
+                                    (time.monotonic() + delay, index)
+                                )
+                    if broken:
+                        break
+                elif draining:
+                    break
+                else:
+                    time.sleep(0.05)  # everything live is in backoff
+                if stop is not None and stop.is_set() and not draining:
+                    # drain: queued cells cancel, running cells finish
+                    draining = True
+                    deferred.clear()
+                    for fut in list(outstanding):
+                        fut.cancel()
+                    outstanding = {
+                        f for f in outstanding if not f.cancelled()
+                    }
+                if deferred and not draining:
+                    now = time.monotonic()
+                    ready = [i for (t, i) in deferred if t <= now]
+                    if ready:
+                        deferred[:] = [
+                            (t, i) for (t, i) in deferred if t > now
+                        ]
+                        for i in ready:
+                            fut = pool.submit(
+                                _run_spec_dict_ev, state["tasks"][i]
+                            )
+                            futures[fut] = i
+                            outstanding.add(fut)
+                if (
+                    retry is not None
+                    and retry.cell_timeout is not None
+                    and not broken
+                ):
+                    broken = self._enforce_deadlines(
+                        state, charged, exhaust, on_event
+                    ) or broken
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if not broken:
+            return
+        # the pool died: bill exactly the cells caught mid-flight (seen
+        # to start, never finished).  Give the event queue a beat first
+        # so in-flight cell_start/cell_done records are folded in.
+        time.sleep(0.3)
+        with state["lock"]:
+            suspects = sorted(
+                i for i in state["started_at"]
+                if i not in results and i not in failures and i not in charged
+            )
+            state["started_at"].clear()
+            state["cell_pid"].clear()
+        if not suspects and not charged and len(results) == landed_before:
+            # nothing was ever attributed (a worker died during startup
+            # or before its first event escaped): without a suspect the
+            # outer loop would retry this pool forever, so every cell
+            # still pending shares the blame
+            suspects = [
+                i for i in pending if i not in results and i not in failures
+            ]
+        for index in suspects:
+            attempts[index] += 1
+            reason = "its pool worker died (crash or kill)"
+            if retry is None or retry.exhausted(attempts[index]):
+                exhaust(index, reason)
+            else:
+                emit_retry(index, 0.0, reason)
+
+    def _enforce_deadlines(
+        self, state, charged: set, exhaust, on_event
+    ) -> bool:
+        """Kill the worker hosting any cell past its deadline (the only
+        reliable way to stop a wedged simulation is the process
+        boundary).  Returns whether a kill broke the pool."""
+        retry = self.retry
+        now = time.monotonic()
+        with state["lock"]:
+            over = [
+                (i, state["cell_pid"].get(i))
+                for i, t0 in state["started_at"].items()
+                if i not in charged
+                and i not in state["results"]
+                and retry.over_deadline(t0, now)
+            ]
+        killed = False
+        for index, pid in over:
+            charged.add(index)
+            state["attempts"][index] += 1
+            _safe_emit(
+                on_event,
+                {
+                    "type": "cell_timeout",
+                    "index": index,
+                    "digest": state["digests"][index],
+                    "label": state["labels"][index],
+                    "worker": pid,
+                    "attempt": state["attempts"][index],
+                    "timeout": retry.cell_timeout,
+                },
+            )
+            if retry.exhausted(state["attempts"][index]):
+                exhaust(
+                    index,
+                    f"exceeded cell_timeout={retry.cell_timeout}s",
+                )
+            if pid:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    killed = True
+                except OSError:
+                    pass
+            with state["lock"]:
+                state["started_at"].pop(index, None)
+                state["cell_pid"].pop(index, None)
+        return killed
 
 
 # ----------------------------------------------------------------------
@@ -443,6 +845,8 @@ class CachingExecutor:
         specs: Sequence[ExperimentSpec],
         *,
         on_event: "OnEvent | None" = None,
+        stop: "threading.Event | None" = None,
+        on_result: "OnResult | None" = None,
     ) -> list[ExperimentResult]:
         from repro import obs
 
@@ -493,14 +897,30 @@ class CachingExecutor:
         self.last_hits = len(specs) - len(miss_indices)
         self.last_misses = len(miss_indices)
         if miss_indices:
-            fresh = self._run_inner(
-                [specs[i] for i in miss_indices],
-                miss_indices,
-                len(specs),
-                on_event,
-            )
-            for i, result in zip(miss_indices, fresh):
-                store_cached_result(self._path_for(specs[i]), result)
+            miss_specs = [specs[i] for i in miss_indices]
+            try:
+                fresh, stored = self._run_inner(
+                    miss_specs, miss_indices, len(specs),
+                    on_event, stop, on_result,
+                )
+            except CellFailure as exc:
+                # inner executors index into the miss list; re-raise in
+                # original-spec coordinates so callers name the right cell
+                if 0 <= exc.index < len(miss_indices):
+                    raise CellFailure(
+                        miss_indices[exc.index], exc.digest, exc.label,
+                        exc.reason, exc.attempts,
+                    ) from exc
+                raise
+            except SweepInterrupted as exc:
+                raise SweepInterrupted(
+                    done=exc.done + self.last_hits, total=len(specs)
+                ) from exc
+            for pos, (i, result) in enumerate(zip(miss_indices, fresh)):
+                if pos not in stored:
+                    store_cached_result(self._path_for(specs[i]), result)
+                    if on_result is not None:
+                        on_result(i, result)
                 results[i] = result
         return results  # type: ignore[return-value]
 
@@ -510,20 +930,39 @@ class CachingExecutor:
         miss_indices: list[int],
         total: int,
         on_event: "OnEvent | None",
-    ) -> list[ExperimentResult]:
-        if on_event is None or not _accepts_on_event(self.inner):
-            return self.inner.run(miss_specs)
+        stop: "threading.Event | None",
+        on_result: "OnResult | None",
+    ) -> "tuple[list[ExperimentResult], set[int]]":
+        """Run the misses through the inner executor, landing each fresh
+        result on disk *as it completes* when the inner executor speaks
+        ``on_result`` -- a sweep killed mid-batch keeps every finished
+        cell.  Returns ``(results, positions already stored)``."""
+        kwargs: dict = {}
+        if on_event is not None and _accepts_kw(self.inner, "on_event"):
 
-        def remapped(event: dict) -> None:
-            # inner executors index into the miss list; progress wants
-            # positions in the original spec list
-            if "index" in event:
-                event = {**event, "index": miss_indices[event["index"]]}
-            if "total" in event:
-                event = {**event, "total": total}
-            on_event(event)
+            def remapped(event: dict) -> None:
+                # inner executors index into the miss list; progress
+                # wants positions in the original spec list
+                if "index" in event:
+                    event = {**event, "index": miss_indices[event["index"]]}
+                if "total" in event:
+                    event = {**event, "total": total}
+                on_event(event)
 
-        return self.inner.run(miss_specs, on_event=remapped)
+            kwargs["on_event"] = remapped
+        if stop is not None and _accepts_kw(self.inner, "stop"):
+            kwargs["stop"] = stop
+        stored: set[int] = set()
+        if _accepts_kw(self.inner, "on_result"):
+
+            def store_now(pos: int, result: ExperimentResult) -> None:
+                store_cached_result(self._path_for(miss_specs[pos]), result)
+                stored.add(pos)
+                if on_result is not None:
+                    on_result(miss_indices[pos], result)
+
+            kwargs["on_result"] = store_now
+        return self.inner.run(miss_specs, **kwargs), stored
 
 
 # ----------------------------------------------------------------------
@@ -559,11 +998,14 @@ def executor_backend(name: str) -> "Callable[..., Executor]":
         ) from None
 
 
-register_backend("serial", lambda session=None: SerialExecutor(session))
+register_backend(
+    "serial",
+    lambda session=None, retry=None: SerialExecutor(session, retry=retry),
+)
 register_backend(
     "parallel",
-    lambda workers=None, chunksize=1: ParallelExecutor(
-        workers=workers, chunksize=chunksize
+    lambda workers=None, chunksize=1, retry=None: ParallelExecutor(
+        workers=workers, chunksize=chunksize, retry=retry
     ),
 )
 register_backend(
@@ -581,24 +1023,49 @@ def make_executor(
     cluster: int = 0,
     launcher=None,
     engine: "str | None" = None,
+    *,
+    retry: "RetryPolicy | None" = None,
+    max_retries: "int | None" = None,
+    heartbeat_timeout: "float | None" = None,
+    cell_timeout: "float | None" = None,
 ) -> Executor:
     """``workers <= 1`` selects the serial path, anything else the pool;
     ``cache_dir`` wraps the chosen executor in a :class:`CachingExecutor`.
     ``cluster > 0`` instead builds a ``repro.cluster.ClusterExecutor``
     fanning out over that many worker agents (``launcher`` picks the
     transport, ``cache_dir`` names the shared result bus, ``engine`` the
-    digest-neutral cycle engine the workers run)."""
+    digest-neutral cycle engine the workers run).
+
+    Resilience knobs: pass a full :class:`repro.resilience.RetryPolicy`
+    as ``retry``, or the CLI-shaped scalars -- ``max_retries`` (extra
+    attempts after the first; ``max_attempts = max_retries + 1``) and
+    ``cell_timeout`` (per-cell wall-clock deadline, seconds) -- and one
+    is built.  ``heartbeat_timeout`` only applies to the cluster backend
+    (seconds of silence before a worker is declared dead)."""
+    if retry is None and (max_retries is not None or cell_timeout is not None):
+        retry = RetryPolicy(
+            max_attempts=(max_retries if max_retries is not None else 2) + 1,
+            cell_timeout=cell_timeout,
+        )
     if cluster:
+        options: dict = {}
+        if retry is not None:
+            options["retry"] = retry
+        if heartbeat_timeout is not None:
+            options["heartbeat_timeout"] = heartbeat_timeout
         return executor_backend("cluster")(
             workers=cluster,
             launcher=launcher,
             cache_dir=cache_dir,
             engine=engine,
+            **options,
         )
     if workers <= 1:
-        executor: Executor = SerialExecutor()
+        executor: Executor = SerialExecutor(retry=retry)
     else:
-        executor = ParallelExecutor(workers=workers, chunksize=chunksize)
+        executor = ParallelExecutor(
+            workers=workers, chunksize=chunksize, retry=retry
+        )
     if cache_dir is not None:
         return CachingExecutor(cache_dir, executor)
     return executor

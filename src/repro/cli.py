@@ -16,6 +16,10 @@ Usage::
     python -m repro.cli sweep --n 20 --workers 4 --progress --trace-out t.jsonl
     python -m repro.cli sweep --n 20 --cluster 4 --cache-dir .cluster-bus
     python -m repro.cli sweep --n 20 --cluster 8 --launcher ssh:host1,host2
+    python -m repro.cli sweep --n 20 --journal .sweeps/run1
+    python -m repro.cli sweep --resume .sweeps/run1
+    python -m repro.cli sweep --n 20 --cluster 4 --cell-timeout 60 --max-retries 3
+    python -m repro.cli cache fsck .sweep-cache --repair
     python -m repro.cli faults list
     python -m repro.cli bench --tiny --json BENCH_step.json
     python -m repro.cli bench --fault-guard
@@ -160,50 +164,172 @@ def cmd_qrr(args) -> int:
     return 0 if ok else 1
 
 
+def _grid_dict(grid: Grid) -> dict:
+    """The grid description embedded in sweep JSON and journals."""
+    return {
+        "components": list(grid.components),
+        "benchmarks": list(grid.benchmarks),
+        "seeds": list(grid.seeds),
+        "mode": grid.mode,
+        "n": grid.n,
+        "machine": grid.machine.to_dict(),
+        "scale": grid.scale,
+        "fault": grid.fault,
+        "engine": grid.engine,
+    }
+
+
 def cmd_sweep(args) -> int:
+    from repro.api.executor import CellFailure
+    from repro.resilience import (
+        GracefulShutdown,
+        SweepInterrupted,
+        SweepJournal,
+    )
+
     if args.fault and args.mode != "injection":
         raise _UserError("--fault applies to injection sweeps only")
-    grid = Grid(
-        components=tuple(args.components),
-        benchmarks=tuple(args.benchmarks),
-        seeds=tuple(args.seeds),
-        mode=args.mode,
-        n=args.n,
-        machine=_machine_config(args),
-        scale=args.scale,
-        fault=args.fault,
-        engine=args.engine,
-    )
-    try:
-        specs = grid.specs()
-    except ValueError as exc:
-        raise _UserError(str(exc)) from exc
+    if args.journal and args.resume:
+        raise _UserError(
+            "--journal starts a new journal, --resume continues one; "
+            "pass one or the other"
+        )
+    journal = None
+    cache_dir = args.cache_dir
+    if args.resume:
+        if args.cache_dir:
+            raise _UserError(
+                "--resume reads the result bus recorded in the journal; "
+                "--cache-dir does not apply"
+            )
+        try:
+            journal = SweepJournal.load(args.resume)
+        except (FileNotFoundError, ValueError) as exc:
+            raise _UserError(str(exc)) from exc
+        try:
+            grid = journal.to_grid()
+            specs = grid.specs()
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _UserError(
+                f"cannot rebuild the sweep grid from {args.resume}: {exc}"
+            ) from exc
+        if not journal.matches(specs):
+            raise _UserError(
+                f"journal {args.resume} cells do not match its recorded "
+                f"grid (manifest damaged?)"
+            )
+        cache_dir = str(journal.bus_path())
+        # the bus is authoritative: results that landed after the last
+        # journal flush (coordinator killed mid-write) still count
+        reconciled = journal.reconcile(specs)
+        counts = journal.counts()
+        line = (
+            f"resuming journal {args.resume}: {counts['landed']}/"
+            f"{len(specs)} cells already landed"
+        )
+        if reconciled:
+            line += f" ({reconciled} reconciled from the bus)"
+        print(line)
+    else:
+        grid = Grid(
+            components=tuple(args.components),
+            benchmarks=tuple(args.benchmarks),
+            seeds=tuple(args.seeds),
+            mode=args.mode,
+            n=args.n,
+            machine=_machine_config(args),
+            scale=args.scale,
+            fault=args.fault,
+            engine=args.engine,
+        )
+        try:
+            specs = grid.specs()
+        except ValueError as exc:
+            raise _UserError(str(exc)) from exc
     if not specs:
         print("sweep grid is empty (no valid component x benchmark cells)")
         return 1
+    if args.journal:
+        journal = SweepJournal.create(
+            args.journal, _grid_dict(grid), specs, bus=args.cache_dir
+        )
+        cache_dir = str(journal.bus_path())
+        print(
+            f"journal {args.journal}: {len(specs)} cells, "
+            f"bus {journal.bus_path()}"
+        )
     try:
         executor = make_executor(
             workers=args.workers,
             chunksize=args.chunksize,
-            cache_dir=args.cache_dir,
+            cache_dir=cache_dir,
             cluster=args.cluster,
             launcher=args.launcher,
             engine=args.engine,
+            max_retries=args.max_retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+            cell_timeout=args.cell_timeout,
         )
     except ValueError as exc:
         raise _UserError(str(exc)) from exc
     workers = args.cluster if args.cluster else args.workers
     print(
-        f"sweep: {len(specs)} cells x {args.n} runs "
+        f"sweep: {len(specs)} cells x {grid.n} runs "
         f"({executor.__class__.__name__}, workers={workers})"
     )
-    on_event = _sweep_observer(args, total=len(specs))
-    results = executor.run(specs, on_event=on_event)
-    if on_event is not None:
-        on_event.finish()
+    observer = _sweep_observer(args, total=len(specs))
+    if journal is None:
+        on_event = observer
+    elif observer is None:
+        on_event = journal.handle_event
+    else:
+        def on_event(event, _observer=observer, _journal=journal):
+            _journal.handle_event(event)
+            _observer(event)
+
+    with GracefulShutdown() as guard:
+        try:
+            results = executor.run(specs, on_event=on_event, stop=guard.stop)
+        except SweepInterrupted as exc:
+            if observer is not None:
+                observer.finish()
+            print(f"sweep interrupted: {exc.done}/{exc.total} cells landed")
+            if journal is not None:
+                journal.reconcile(specs)
+                print(
+                    f"resume with: repro sweep --resume {journal.directory}"
+                )
+            elif cache_dir is not None:
+                print(
+                    f"landed cells are durable in {cache_dir}; re-running "
+                    f"the same sweep with --cache-dir replays them as hits"
+                )
+            return 130
+        except CellFailure as exc:
+            if observer is not None:
+                observer.finish()
+            if journal is not None:
+                journal.reconcile(specs)
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            if journal is not None:
+                print(
+                    f"completed cells are journaled; retry with: "
+                    f"repro sweep --resume {journal.directory}",
+                    file=sys.stderr,
+                )
+            return 1
+    if observer is not None:
+        observer.finish()
+    if journal is not None:
+        journal.reconcile(specs)
+        counts = journal.counts()
+        print(
+            f"journal {journal.directory}: {counts['landed']}/{len(specs)} "
+            f"cells landed"
+        )
     if isinstance(executor, CachingExecutor):
         summary = (
-            f"result cache {args.cache_dir}: {executor.last_hits} hits, "
+            f"result cache {cache_dir}: {executor.last_hits} hits, "
             f"{executor.last_misses} misses"
         )
         if executor.last_stale:
@@ -216,6 +342,8 @@ def cmd_sweep(args) -> int:
                 f"; {executor.last_worker_deaths} worker deaths, "
                 f"{executor.last_requeued} cells re-queued"
             )
+        if executor.last_timeouts:
+            summary += f"; {executor.last_timeouts} cell timeouts"
         if executor.last_fallback:
             summary += (
                 f"; {executor.last_fallback} cells computed locally"
@@ -226,17 +354,7 @@ def cmd_sweep(args) -> int:
     if args.json:
         payload = {
             "schema_version": results[0].to_dict()["schema_version"],
-            "grid": {
-                "components": list(grid.components),
-                "benchmarks": list(grid.benchmarks),
-                "seeds": list(grid.seeds),
-                "mode": grid.mode,
-                "n": grid.n,
-                "machine": grid.machine.to_dict(),
-                "scale": grid.scale,
-                "fault": grid.fault,
-                "engine": grid.engine,
-            },
+            "grid": _grid_dict(grid),
             "results": [r.to_dict() for r in results],
         }
         _emit_text(dumps_canonical(payload), args.json)
@@ -313,6 +431,11 @@ class _SweepObserver:
             self.trace.instant(
                 etype, "cluster", worker=event.get("worker"),
                 requeued=event.get("requeued"),
+            )
+        elif etype in ("cell_retry", "cell_timeout", "cell_exhausted"):
+            self.trace.instant(
+                etype, "resilience", digest=event.get("digest"),
+                index=event.get("index"), attempt=event.get("attempt"),
             )
 
     def finish(self) -> None:
@@ -475,6 +598,43 @@ def cmd_worker(args) -> int:
     )
 
 
+def cmd_cache(args) -> int:
+    """``repro cache fsck``: audit (and with ``--repair`` quarantine
+    damage in) a content-addressed result cache / cluster bus."""
+    from repro.resilience import fsck_cache
+
+    kwargs = {}
+    if args.tmp_age is not None:
+        kwargs["tmp_age"] = args.tmp_age
+    try:
+        report = fsck_cache(args.cache_dir, repair=args.repair, **kwargs)
+    except FileNotFoundError as exc:
+        raise _UserError(str(exc)) from exc
+    if args.json:
+        _emit_text(dumps_canonical(report.to_dict()), args.json)
+        if args.json == "-":
+            return 0 if report.issues == 0 else 1
+    line = (
+        f"cache fsck {args.cache_dir}: {report.ok} ok, "
+        f"{len(report.corrupt)} corrupt, {len(report.mismatched)} "
+        f"mismatched, {len(report.orphan_tmp)} orphaned tmp"
+    )
+    if report.skipped_tmp:
+        line += f" ({report.skipped_tmp} young tmp skipped)"
+    print(line)
+    for kind in ("corrupt", "mismatched", "orphan_tmp"):
+        for name in getattr(report, kind):
+            print(f"  {kind}: {name}")
+    if report.quarantined:
+        print(
+            f"quarantined {len(report.quarantined)} entries into "
+            f"{report.cache_dir / 'quarantine'}"
+        )
+    elif report.issues:
+        print("re-run with --repair to quarantine the damaged entries")
+    return 0 if report.issues == 0 else 1
+
+
 def cmd_top(args) -> int:
     """Render obs state: a snapshot file a sweep wrote (``--obs-out``),
     or this process's own registry when no file is given."""
@@ -629,6 +789,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--obs-out", default=None, metavar="FILE",
                    help="periodically write a metrics-registry snapshot "
                         "for 'repro top FILE --follow'")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="write a crash-safe sweep journal under DIR (grid "
+                        "manifest + per-cell state; the result bus defaults "
+                        "to DIR/bus unless --cache-dir names one); a killed "
+                        "sweep continues with --resume DIR")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="resume the journaled sweep under DIR: the grid "
+                        "comes from the journal, landed cells replay as "
+                        "byte-identical cache hits, only unlanded cells "
+                        "recompute")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="per-cell re-attempt budget after a crash, timeout "
+                        "or error (default: fail fast locally, 2 for "
+                        "--cluster)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-clock deadline: a cell running "
+                        "longer gets its worker process killed and is "
+                        "re-queued against the retry budget")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="(--cluster) silence beyond this declares a worker "
+                        "dead and re-queues its cells")
     fault_flag(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -681,6 +864,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat", type=float, default=2.0, metavar="SECONDS",
                    help="liveness beacon period (<= 0 disables)")
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "cache", help="inspect and repair a result cache / cluster bus"
+    )
+    cache_sub = p.add_subparsers(dest="action", required=True)
+    pf = cache_sub.add_parser(
+        "fsck",
+        help="audit every cache entry (parse + digest check) and "
+             "orphaned temp files; exit 1 when damage is found",
+    )
+    pf.add_argument("cache_dir", metavar="CACHE_DIR",
+                    help="the cache / bus directory to scan")
+    pf.add_argument("--repair", action="store_true",
+                    help="move damaged entries and orphaned temp files "
+                         "into CACHE_DIR/quarantine/ (never deletes)")
+    pf.add_argument("--tmp-age", type=float, default=None, metavar="SECONDS",
+                    help="treat *.tmp files older than this as orphaned "
+                         "(default: 60)")
+    json_flag(pf)
+    pf.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "top", help="render obs metrics (table or Prometheus format)"

@@ -29,6 +29,16 @@ retried cell's result may already have landed (the first attempt died
 *after* the atomic rename), every retry starts with a bus lookup -- a
 straggler re-dispatch is a free cache hit, never duplicated work.
 
+With a :class:`~repro.resilience.RetryPolicy` the same machinery gains
+per-cell wall-clock deadlines (a cell running past ``cell_timeout``
+gets its hosting worker killed -- the process boundary, not
+cooperation, ends a wedged simulation -- and re-queues) and
+deterministic digest-derived backoff on every re-queue.  A ``stop``
+event (:class:`~repro.resilience.GracefulShutdown`) drains the cluster:
+workers get SIGTERM, finish and land their in-flight cell, and the run
+raises :class:`~repro.resilience.SweepInterrupted` with everything
+durable on the bus for ``repro sweep --resume``.
+
 Telemetry: forwarded worker events feed the coordinator's ``on_event``
 callback with the standard shapes (grid-indexed ``cell_start``/
 ``cell_done``/``cache_*`` with the executing worker's pid, which the
@@ -50,6 +60,7 @@ from typing import Sequence
 from repro.api.executor import (
     CachingExecutor,
     OnEvent,
+    OnResult,
     SerialExecutor,
     _emitter,
     _safe_emit,
@@ -58,6 +69,8 @@ from repro.api.executor import (
 from repro.api.result import ExperimentResult
 from repro.api.spec import ExperimentSpec
 from repro.cluster.launchers import Launcher, LocalLauncher, parse_launcher
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.shutdown import SweepInterrupted
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
     dumps_line,
@@ -114,6 +127,13 @@ class ClusterExecutor:
         heartbeat_interval: worker beacon period (seconds).
         heartbeat_timeout: silence beyond this marks a worker hung and
             re-queues its cells (default: ``max(15, 10 * interval)``).
+        retry: a :class:`repro.resilience.RetryPolicy` unifying the
+            re-dispatch budget (``max_attempts = max_retries + 1``),
+            deterministic backoff delays on re-queue, and a per-cell
+            wall-clock deadline -- a cell running past
+            ``retry.cell_timeout`` gets its hosting worker killed (the
+            process boundary is the only reliable way to stop a wedged
+            simulation) and re-queues with the usual budget.
     """
 
     def __init__(
@@ -126,6 +146,7 @@ class ClusterExecutor:
         max_retries: int = 2,
         heartbeat_interval: float = 2.0,
         heartbeat_timeout: "float | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -133,7 +154,10 @@ class ClusterExecutor:
         self.launcher = parse_launcher(launcher)
         self.cache_dir = cache_dir
         self.engine = engine
-        self.max_retries = max_retries
+        self.retry = retry
+        self.max_retries = (
+            retry.max_attempts - 1 if retry is not None else max_retries
+        )
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = (
             heartbeat_timeout
@@ -144,8 +168,11 @@ class ClusterExecutor:
         self.last_worker_deaths = 0
         self.last_requeued = 0
         self.last_fallback = 0
+        self.last_timeouts = 0
         # per-run working state (set by _run_distributed)
         self._spec_dict_cache: "list[dict]" = []
+        self._digest_cache: "list[str]" = []
+        self._label_cache: "list[str]" = []
         self._emit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -154,6 +181,8 @@ class ClusterExecutor:
         specs: Sequence[ExperimentSpec],
         *,
         on_event: "OnEvent | None" = None,
+        stop: "threading.Event | None" = None,
+        on_result: "OnResult | None" = None,
     ) -> list[ExperimentResult]:
         specs = list(specs)
         if not specs:
@@ -162,6 +191,7 @@ class ClusterExecutor:
         self.last_worker_deaths = 0
         self.last_requeued = 0
         self.last_fallback = 0
+        self.last_timeouts = 0
         owns_bus = self.cache_dir is None
         bus = (
             Path(tempfile.mkdtemp(prefix="repro-cluster-"))
@@ -169,8 +199,12 @@ class ClusterExecutor:
             else Path(self.cache_dir)
         )
         try:
-            landed = self._run_distributed(specs, bus, emit)
-            return self._merge(specs, bus, landed, emit)
+            landed = self._run_distributed(specs, bus, emit, stop)
+            if stop is not None and stop.is_set():
+                # drained: every in-flight cell finished and landed;
+                # skipping the merge keeps the exit fast and resumable
+                raise SweepInterrupted(done=len(landed), total=len(specs))
+            return self._merge(specs, bus, landed, emit, stop, on_result)
         finally:
             if owns_bus:
                 shutil.rmtree(bus, ignore_errors=True)
@@ -202,34 +236,44 @@ class ClusterExecutor:
             return engines.pop()
         return None
 
-    def _run_distributed(self, specs: list, bus: Path, emit) -> set[int]:
+    def _run_distributed(
+        self, specs: list, bus: Path, emit, stop=None
+    ) -> set[int]:
         from repro import obs
 
         total = len(specs)
-        lock = threading.Lock()
-        landed: set[int] = set()
-        retries: dict[int, int] = {}
-        abandoned: set[int] = set()
-        pending: "list[tuple[int, dict]]" = []
+        st: dict = {
+            "lock": threading.Lock(),
+            "landed": set(),     # indices with durable bus results
+            "retries": {},       # index -> requeue count
+            "abandoned": set(),  # budget spent; merge computes locally
+            "pending": [],       # (ready_at, index, spec_dict) backoffs
+            "running": {},       # index -> (agent, started_monotonic)
+        }
         engine = self._batch_engine(specs)
         spec_dicts = [spec.to_dict() for spec in specs]
         self._spec_dict_cache = spec_dicts
+        self._digest_cache = [spec.digest() for spec in specs]
+        self._label_cache = [spec.label() for spec in specs]
 
         shards = shard_by_digest(specs, self.workers)
         agents: list[_Agent] = []
         for wid, shard in enumerate(shards):
             agent = self._launch(wid, bus, engine)
             agents.append(agent)
-            self._start_io(agent, lock, landed, retries, abandoned,
-                          pending, emit)
+            self._start_io(agent, st, emit)
             if not agent.dead and shard:
                 cells = [(index, spec_dicts[index]) for index, _ in shard]
-                with lock:
+                with st["lock"]:
                     agent.assigned |= {index for index, _ in shard}
                 agent.send(shard_message(cells, total))
 
         obs.gauge("cluster.workers_alive").set(
             sum(1 for a in agents if not a.dead)
+        )
+        lock = st["lock"]
+        landed, abandoned, pending = (
+            st["landed"], st["abandoned"], st["pending"],
         )
         try:
             while True:
@@ -237,6 +281,17 @@ class ClusterExecutor:
                     outstanding = total - len(landed) - len(abandoned)
                     if outstanding <= 0:
                         break
+                if stop is not None and stop.is_set():
+                    # graceful drain: SIGTERM asks each worker to stop
+                    # *between* cells -- in-flight cells finish and land
+                    # before the worker exits (see run_worker)
+                    for agent in agents:
+                        if not agent.dead:
+                            try:
+                                agent.proc.terminate()
+                            except OSError:
+                                pass
+                    break
                 now = time.monotonic()
                 for agent in agents:
                     if agent.dead:
@@ -246,16 +301,30 @@ class ClusterExecutor:
                         now - agent.last_seen > self.heartbeat_timeout
                     ) or not agent.protocol_ok
                     if exited or hung:
-                        self._declare_dead(
-                            agent, lock, landed, retries, abandoned,
-                            pending, emit, kill=not exited,
+                        self._declare_dead(agent, st, emit, kill=not exited)
+                        obs.gauge("cluster.workers_alive").set(
+                            sum(1 for a in agents if not a.dead)
                         )
+                if (
+                    self.retry is not None
+                    and self.retry.cell_timeout is not None
+                ):
+                    if self._enforce_deadlines(st, emit):
                         obs.gauge("cluster.workers_alive").set(
                             sum(1 for a in agents if not a.dead)
                         )
                 alive = [a for a in agents if not a.dead]
                 with lock:
-                    requeue, pending[:] = pending[:], []
+                    now = time.monotonic()
+                    requeue = [(i, d) for (t, i, d) in pending if t <= now]
+                    if alive:
+                        pending[:] = [
+                            (t, i, d) for (t, i, d) in pending if t > now
+                        ]
+                    else:
+                        # backoff delays are moot with nobody to run them
+                        requeue += [(i, d) for (t, i, d) in pending if t > now]
+                        pending[:] = []
                 if requeue:
                     if alive:
                         target = min(alive, key=lambda a: len(a.assigned))
@@ -294,14 +363,12 @@ class ClusterExecutor:
             return agent
         return _Agent(wid, proc)
 
-    def _start_io(
-        self, agent, lock, landed, retries, abandoned, pending, emit
-    ) -> None:
+    def _start_io(self, agent, st, emit) -> None:
         if agent.dead:
             return
         agent.reader = threading.Thread(
             target=self._read_loop,
-            args=(agent, lock, landed, emit, retries, abandoned, pending),
+            args=(agent, st, emit),
             name=f"repro-cluster-read-{agent.wid}",
             daemon=True,
         )
@@ -330,38 +397,44 @@ class ClusterExecutor:
         except (OSError, ValueError):
             pass
 
-    def _read_loop(
-        self, agent, lock, landed, emit, retries, abandoned, pending
-    ) -> None:
+    def _read_loop(self, agent, st, emit) -> None:
         try:
             for line in agent.proc.stdout:
                 message = parse_line(line)
                 if message is None:
                     continue
                 agent.last_seen = time.monotonic()
-                self._handle(
-                    agent, message, lock, landed, emit, retries,
-                    abandoned, pending,
-                )
+                self._handle(agent, message, st, emit)
         except (OSError, ValueError):
             pass  # stream torn down mid-read (kill/shutdown race)
 
-    def _handle(
-        self, agent, message, lock, landed, emit, retries, abandoned, pending
-    ) -> None:
+    def _handle(self, agent, message, st, emit) -> None:
         from repro import obs
         from repro.api.executor import logger
 
+        lock = st["lock"]
         mtype = message.get("type")
         if mtype == "event":
             event = message.get("event")
             if isinstance(event, dict):
+                # shadow the stream to know which agent runs which cell
+                # right now -- the handle the deadline enforcer kills by
+                etype = event.get("type")
+                index = event.get("index")
+                if isinstance(index, int):
+                    if etype == "cell_start":
+                        with lock:
+                            st["running"][index] = (agent, time.monotonic())
+                    elif etype in ("cell_done", "cache_hit"):
+                        with lock:
+                            st["running"].pop(index, None)
                 self._forward(emit, event)
         elif mtype == "cell_result":
             index = message.get("index")
             with lock:
                 if isinstance(index, int):
-                    landed.add(index)
+                    st["landed"].add(index)
+                    st["running"].pop(index, None)
                 agent.assigned.discard(index)
         elif mtype == "heartbeat":
             self._forward(
@@ -382,8 +455,10 @@ class ClusterExecutor:
             if isinstance(index, int):
                 with lock:
                     agent.assigned.discard(index)
+                    st["running"].pop(index, None)
                     self._requeue_locked(
-                        [index], retries, abandoned, pending
+                        [index], st, emit,
+                        reason=str(message.get("error", "cell_error")),
                     )
         elif mtype == "ready":
             agent.pid = message.get("pid", agent.pid)
@@ -409,28 +484,106 @@ class ClusterExecutor:
         with self._emit_lock:
             _safe_emit(emit, event)
 
-    def _requeue_locked(self, indices, retries, abandoned, pending) -> int:
+    def _requeue_locked(
+        self, indices, st, emit, reason: str = "worker died"
+    ) -> int:
         """Re-queue cells (caller holds the state lock); returns how
-        many still had retry budget."""
+        many still had retry budget.  Re-queues carry a deterministic
+        backoff delay when a :class:`RetryPolicy` is set, and each
+        transition streams as ``cell_retry`` / ``cell_exhausted``."""
         from repro import obs
 
+        retries = st["retries"]
         requeued = 0
         for index in indices:
             retries[index] = retries.get(index, 0) + 1
-            if retries[index] > self.max_retries:
-                abandoned.add(index)
+            attempt = retries[index]
+            if attempt > self.max_retries:
+                st["abandoned"].add(index)
+                self._forward(
+                    emit,
+                    {
+                        "type": "cell_exhausted",
+                        "index": index,
+                        "digest": self._digest_cache[index],
+                        "label": self._label_cache[index],
+                        "attempt": attempt,
+                        "error": reason,
+                    },
+                )
             else:
-                pending.append((index, self._spec_dict_cache[index]))
+                delay = (
+                    self.retry.backoff(self._digest_cache[index], attempt)
+                    if self.retry is not None
+                    else 0.0
+                )
+                st["pending"].append(
+                    (
+                        time.monotonic() + delay,
+                        index,
+                        self._spec_dict_cache[index],
+                    )
+                )
+                self._forward(
+                    emit,
+                    {
+                        "type": "cell_retry",
+                        "index": index,
+                        "digest": self._digest_cache[index],
+                        "label": self._label_cache[index],
+                        "attempt": attempt,
+                        "delay": round(delay, 6),
+                        "error": reason,
+                    },
+                )
                 requeued += 1
         if requeued:
             self.last_requeued += requeued
             obs.counter("cluster.cells_requeued").inc(requeued)
         return requeued
 
-    def _declare_dead(
-        self, agent, lock, landed, retries, abandoned, pending, emit,
-        kill: bool,
-    ) -> None:
+    def _enforce_deadlines(self, st, emit) -> bool:
+        """Kill the worker hosting any cell past ``retry.cell_timeout``
+        (SIGKILL works on SIGSTOPped processes too, so a *frozen* worker
+        cannot dodge the deadline); its cells re-queue through the
+        normal dead-worker path.  Returns whether anyone died."""
+        from repro import obs
+
+        timeout = self.retry.cell_timeout
+        now = time.monotonic()
+        with st["lock"]:
+            over = [
+                (index, agent)
+                for index, (agent, t0) in st["running"].items()
+                if now - t0 > timeout and index not in st["landed"]
+            ]
+        doomed: list = []
+        for index, agent in over:
+            if agent.dead:
+                continue
+            self.last_timeouts += 1
+            obs.counter("cluster.cell_timeouts").inc()
+            self._forward(
+                emit,
+                {
+                    "type": "cell_timeout",
+                    "index": index,
+                    "digest": self._digest_cache[index],
+                    "label": self._label_cache[index],
+                    "worker": agent.pid,
+                    "attempt": st["retries"].get(index, 0) + 1,
+                    "timeout": timeout,
+                },
+            )
+            with st["lock"]:
+                st["running"].pop(index, None)
+            if agent not in doomed:
+                doomed.append(agent)
+        for agent in doomed:
+            self._declare_dead(agent, st, emit, kill=True)
+        return bool(doomed)
+
+    def _declare_dead(self, agent, st, emit, kill: bool) -> None:
         from repro import obs
         from repro.api.executor import logger
 
@@ -440,10 +593,14 @@ class ClusterExecutor:
                 agent.proc.kill()
             except OSError:
                 pass
-        with lock:
-            lost = sorted(agent.assigned - landed)
+        with st["lock"]:
+            lost = sorted(agent.assigned - st["landed"])
             agent.assigned.clear()
-            self._requeue_locked(lost, retries, abandoned, pending)
+            for index in [
+                i for i, (a, _) in st["running"].items() if a is agent
+            ]:
+                st["running"].pop(index, None)
+            self._requeue_locked(lost, st, emit)
         self.last_worker_deaths += 1
         obs.counter("cluster.worker_deaths").inc()
         logger.warning(
@@ -487,7 +644,8 @@ class ClusterExecutor:
     # merge phase
     # ------------------------------------------------------------------
     def _merge(
-        self, specs: list, bus: Path, landed: set, emit
+        self, specs: list, bus: Path, landed: set, emit,
+        stop=None, on_result=None,
     ) -> list[ExperimentResult]:
         """Collect results from the bus in spec order.
 
@@ -510,8 +668,10 @@ class ClusterExecutor:
                 if event.get("index") in fallback:
                     emit(event)
 
-        merged = CachingExecutor(bus, SerialExecutor())
-        results = merged.run(specs, on_event=merge_emit)
+        merged = CachingExecutor(bus, SerialExecutor(retry=self.retry))
+        results = merged.run(
+            specs, on_event=merge_emit, stop=stop, on_result=on_result
+        )
         return results
 
 
@@ -529,4 +689,7 @@ class _DeadProc:
         return -1
 
     def kill(self) -> None:
+        pass
+
+    def terminate(self) -> None:
         pass

@@ -22,6 +22,7 @@ spawning anything.
 from __future__ import annotations
 
 import os
+import shlex
 import subprocess
 import sys
 from typing import Protocol, runtime_checkable
@@ -71,8 +72,29 @@ class LocalLauncher:
         return "LocalLauncher()"
 
 
+def split_host_port(host: str) -> "tuple[str, str | None]":
+    """Split an ``[user@]host[:port]`` spec into (ssh target, port).
+
+    The port is recognised only when the text after the last ``:`` is
+    all digits, so bare hosts, ``user@host``, and odd hostnames pass
+    through untouched (bracketed IPv6 literals are out of scope for
+    this launcher).  ``user@`` stays inside the target -- ssh parses it
+    natively.
+    """
+    head, sep, tail = host.rpartition(":")
+    if sep and tail.isdigit():
+        return head, tail
+    return host, None
+
+
 class SshLauncher:
     """Spawns worker agents over ssh, round-robin across ``hosts``.
+
+    Hosts accept the full ``[user@]host[:port]`` spec; a port becomes
+    ``ssh -p PORT``.  Every remote token is shell-quoted -- the remote
+    side of ssh is a shell, so an interpreter path or ``PYTHONPATH``
+    containing spaces or metacharacters must arrive as one word (plain
+    tokens are left exactly as-is by the quoting).
 
     ``BatchMode=yes`` keeps a missing key from hanging the sweep at an
     interactive prompt -- an unreachable host just dies, which the
@@ -98,11 +120,15 @@ class SshLauncher:
         return self.hosts[worker_id % len(self.hosts)]
 
     def command(self, worker_id: int, worker_args: "list[str]") -> "list[str]":
+        target, port = split_host_port(self.host_for(worker_id))
         remote: "list[str]" = []
         if self.pythonpath:
             remote += ["env", f"PYTHONPATH={self.pythonpath}"]
         remote += [self.python, "-m", "repro.cli", "worker", *worker_args]
-        return ["ssh", *self.ssh_args, self.host_for(worker_id), *remote]
+        argv = ["ssh", *self.ssh_args]
+        if port is not None:
+            argv += ["-p", port]
+        return [*argv, target, *[shlex.quote(token) for token in remote]]
 
     def launch(
         self, worker_id: int, worker_args: "list[str]"
@@ -117,7 +143,8 @@ def parse_launcher(text: "str | Launcher | None") -> Launcher:
     """Resolve a CLI launcher spec into a launcher instance.
 
     ``None``/``"local"`` -> :class:`LocalLauncher`; ``"ssh:h1,h2"`` ->
-    :class:`SshLauncher` over those hosts (``REPRO_CLUSTER_PYTHON`` and
+    :class:`SshLauncher` over those hosts, each accepting the full
+    ``[user@]host[:port]`` form (``REPRO_CLUSTER_PYTHON`` and
     ``REPRO_CLUSTER_PYTHONPATH`` override the remote interpreter and
     import path).  An already-built launcher passes through.
     """

@@ -24,6 +24,7 @@ killing the host it runs on.
 from __future__ import annotations
 
 import os
+import signal
 import sys
 import threading
 import time
@@ -127,13 +128,21 @@ def _run_cell(
 
 
 def _run_shard(
-    session: Session, cache_dir: Path, cells, channel: LineChannel
+    session: Session,
+    cache_dir: Path,
+    cells,
+    channel: LineChannel,
+    drain: "threading.Event | None" = None,
 ) -> None:
     def emit(event: dict) -> None:
         channel.send({"type": "event", "event": event})
 
     landed = 0
     for cell in cells:
+        if drain is not None and drain.is_set():
+            # graceful shutdown: stop *between* cells; everything
+            # already run is durable on the bus and reported
+            break
         index = cell.get("index", -1)
         total = cell.get("total", 0)
         try:
@@ -167,11 +176,26 @@ def run_worker(
     ``in_stream``/``out_stream`` default to stdin/stdout; tests inject
     in-memory streams to exercise the protocol without a subprocess.
     ``heartbeat <= 0`` disables the beacon thread.
+
+    SIGTERM/SIGINT request a graceful drain: the worker finishes the
+    cell it is running (which lands durably on the bus), skips the rest
+    of its shard, and exits -- the coordinator's ``stop`` path counts on
+    exactly this to leave a resumable state.
     """
     in_stream = in_stream if in_stream is not None else sys.stdin
     out_stream = out_stream if out_stream is not None else sys.stdout
     channel = LineChannel(out_stream)
     cache_dir = Path(cache_dir)
+    drain = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        def _drain_handler(signum, frame) -> None:
+            drain.set()
+
+        try:
+            signal.signal(signal.SIGTERM, _drain_handler)
+            signal.signal(signal.SIGINT, _drain_handler)
+        except (ValueError, OSError):
+            pass  # exotic host (no signal support); drain stays inert
     session = Session(engine=engine if engine is not None else DEFAULT_ENGINE)
     channel.send(
         {
@@ -206,8 +230,11 @@ def run_worker(
                 break
             if mtype == "shard":
                 _run_shard(
-                    session, cache_dir, message.get("cells", ()), channel
+                    session, cache_dir, message.get("cells", ()), channel,
+                    drain=drain,
                 )
+                if drain.is_set():
+                    break
             else:
                 channel.send(
                     {

@@ -14,6 +14,10 @@ callback (see :mod:`repro.api.executor`):
   liveness stream: a worker agent's periodic RSS beacon, and the
   declaration that one died (its unfinished cells were re-queued, so
   their ``cell_start`` entries resolve later from another worker).
+* ``cell_retry`` / ``cell_timeout`` / ``cell_exhausted`` -- the
+  resilience layer re-queued a failed attempt, killed a cell past its
+  wall-clock deadline, or spent a cell's whole attempt budget
+  (:class:`repro.resilience.RetryPolicy`).
 
 :class:`ProgressState` folds the stream into campaign-level facts
 (done counts, cells/sec, ETA, cache hit rate, per-worker RSS) and
@@ -43,6 +47,9 @@ class ProgressState:
         self.records = 0
         self.worker_rss_kb: dict[int, int] = {}
         self.worker_deaths = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.exhausted: set[int] = set()
         self.t_start = time.monotonic()
         self.last_event: "dict | None" = None
         self.malformed = 0
@@ -88,6 +95,13 @@ class ProgressState:
         elif etype == "worker_dead":
             self.worker_deaths += 1
             self.worker_rss_kb.pop(event.get("worker"), None)
+        elif etype == "cell_retry":
+            self.retries += 1
+        elif etype == "cell_timeout":
+            self.timeouts += 1
+        elif etype == "cell_exhausted":
+            if "index" in event:
+                self.exhausted.add(event["index"])
         else:
             self.malformed += 1
 
@@ -139,6 +153,9 @@ class ProgressState:
             "workers": len(self.worker_rss_kb),
             "worker_rss_kb": dict(sorted(self.worker_rss_kb.items())),
             "worker_deaths": self.worker_deaths,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "exhausted": sorted(self.exhausted),
             "malformed_events": self.malformed,
         }
 
@@ -157,6 +174,12 @@ class ProgressState:
             obs.gauge("sweep.cache_hit_rate").set(round(hit_rate, 4))
         if self.worker_deaths:
             obs.gauge("sweep.worker_deaths").set(self.worker_deaths)
+        if self.retries:
+            obs.gauge("sweep.cell_retries").set(self.retries)
+        if self.timeouts:
+            obs.gauge("sweep.cell_timeouts").set(self.timeouts)
+        if self.exhausted:
+            obs.gauge("sweep.cells_exhausted").set(len(self.exhausted))
         for worker, rss in self.worker_rss_kb.items():
             obs.gauge("worker.rss_kb", labels={"worker": str(worker)}).set(rss)
 
@@ -211,6 +234,8 @@ class ProgressRenderer:
             )
         if state.worker_deaths:
             parts.append(f"deaths {state.worker_deaths}")
+        if state.retries or state.timeouts:
+            parts.append(f"retries {state.retries}/{state.timeouts}to")
         return "sweep: " + "  ".join(parts)
 
     def maybe_render(self, force: bool = False) -> None:

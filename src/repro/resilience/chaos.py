@@ -1,0 +1,222 @@
+"""The chaos harness: inject real faults into the execution fabric.
+
+The paper injects faults into a simulated SoC; this module injects them
+into the *reproduction's own* machinery, so the resilience claims
+(journaled resume, deadline re-queue, stale-entry recompute, protocol
+robustness) are exercised against genuine process kills and corrupted
+bytes rather than mocks.  ``tests/test_chaos.py`` drives every scenario
+and asserts the fabric's core invariant afterwards: the surviving or
+resumed sweep is **byte-identical** to an uninterrupted serial run, and
+progress accounting stays coherent.
+
+Scenario toolkit:
+
+* **Process chaos** -- :func:`sigkill` (crash), :func:`sigstop` /
+  :func:`sigcont` (a *hung* worker: the process is alive, heartbeats
+  stop, the cell never finishes -- exactly what a wedged simulation
+  looks like from outside).
+* **Bus chaos** -- :func:`corrupt_entry`, :func:`truncate_entry`,
+  :func:`plant_orphan_tmp`: the three shapes of on-disk damage a
+  crashed writer or flaky filesystem leaves behind.
+* **Protocol chaos** -- :class:`ChaosLauncher` wraps any cluster
+  launcher and deterministically drops or garbles worker->coordinator
+  lines (:class:`LineChaos`).  Dropped ``cell_result`` lines are the
+  nastiest case: the result *is* durable on the bus but the coordinator
+  never hears so -- the per-cell deadline re-queues the cell, the retry
+  resolves as a free bus hit, and the re-sent ``cell_result`` closes
+  the loop.
+
+Chaos decisions derive from seeded RNG and per-line counters, never
+from wall-clock or campaign RNG, so every scenario replays identically.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from pathlib import Path
+
+
+# ----------------------------------------------------------------------
+# process chaos
+# ----------------------------------------------------------------------
+def sigkill(pid: int) -> bool:
+    """SIGKILL a process (returns False when it is already gone)."""
+    return _signal(pid, signal.SIGKILL)
+
+
+def sigstop(pid: int) -> bool:
+    """SIGSTOP a process: alive but frozen -- the 'hung worker' fault."""
+    return _signal(pid, signal.SIGSTOP)
+
+
+def sigcont(pid: int) -> bool:
+    """Undo :func:`sigstop` (cleanup in tests; SIGKILL also works on a
+    stopped process, which is how the coordinator reaps hung workers)."""
+    return _signal(pid, signal.SIGCONT)
+
+
+def _signal(pid: int, sig) -> bool:
+    try:
+        os.kill(pid, sig)
+    except (OSError, ProcessLookupError):
+        return False
+    return True
+
+
+def wait_for(predicate, timeout: float = 30.0, interval: float = 0.05) -> bool:
+    """Poll ``predicate`` until truthy or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+# ----------------------------------------------------------------------
+# bus chaos
+# ----------------------------------------------------------------------
+def corrupt_entry(path: "str | Path") -> Path:
+    """Overwrite a bus entry with non-JSON garbage (bit-rot stand-in)."""
+    path = Path(path)
+    path.write_bytes(b"\x00garbage\xff not json {")
+    return path
+
+
+def truncate_entry(path: "str | Path", keep: int = 40) -> Path:
+    """Truncate a bus entry mid-document (interrupted-write stand-in
+    for stores that lack the atomic-rename discipline)."""
+    path = Path(path)
+    path.write_bytes(path.read_bytes()[:keep])
+    return path
+
+
+def plant_orphan_tmp(
+    cache_dir: "str | Path", age_seconds: float = 3600.0
+) -> Path:
+    """Drop a stale ``*.tmp`` staging file (a killed writer's corpse)."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tmp = cache_dir / "deadbeef.json.99999.0.tmp"
+    tmp.write_text('{"half": "written')
+    old = time.time() - age_seconds
+    os.utime(tmp, (old, old))
+    return tmp
+
+
+# ----------------------------------------------------------------------
+# protocol chaos
+# ----------------------------------------------------------------------
+class LineChaos:
+    """Deterministic per-line damage policy for one worker's stdout.
+
+    Each line draws from a seeded RNG: dropped entirely with
+    probability ``drop``, garbled into non-JSON with probability
+    ``garble``, else passed through.  Message types in ``protect`` are
+    never touched (default: the ``ready`` handshake, so version
+    checking stays meaningful under chaos).
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.2,
+        garble: float = 0.2,
+        seed: int = 2015,
+        protect: tuple = ("ready",),
+    ) -> None:
+        if drop + garble > 1.0:
+            raise ValueError("drop + garble must not exceed 1.0")
+        self.drop = drop
+        self.garble = garble
+        self.seed = seed
+        self.protect = tuple(protect)
+
+    def for_worker(self, worker_id: int) -> "random.Random":
+        # one independent, reproducible stream per worker
+        return random.Random((self.seed << 16) ^ worker_id)
+
+    def apply(self, rng: "random.Random", line: str) -> "str | None":
+        """One line's fate: the line, a garbled variant, or ``None``."""
+        for mtype in self.protect:
+            if f'"type":"{mtype}"' in line:
+                return line
+        roll = rng.random()
+        if roll < self.drop:
+            return None
+        if roll < self.drop + self.garble:
+            return "\x7f{chaos-garbled " + line[: 24].rstrip("\n") + "\n"
+        return line
+
+
+class _ChaosStdout:
+    """Iterates a real worker stdout through a :class:`LineChaos`."""
+
+    def __init__(self, stream, chaos: LineChaos, rng) -> None:
+        self._stream = stream
+        self._chaos = chaos
+        self._rng = rng
+        self.dropped = 0
+        self.garbled = 0
+
+    def __iter__(self):
+        for line in self._stream:
+            mangled = self._chaos.apply(self._rng, line)
+            if mangled is None:
+                self.dropped += 1
+                continue
+            if mangled is not line:
+                self.garbled += 1
+            yield mangled
+
+    def __getattr__(self, name):
+        return getattr(self._stream, name)
+
+
+class _ChaosProc:
+    """A Popen proxy whose stdout is chaos-filtered (everything else --
+    poll/wait/kill/stdin/pid -- passes straight through)."""
+
+    def __init__(self, proc, chaos: LineChaos, worker_id: int) -> None:
+        self._proc = proc
+        self.stdout = _ChaosStdout(
+            proc.stdout, chaos, chaos.for_worker(worker_id)
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._proc, name)
+
+
+class ChaosLauncher:
+    """Wraps any cluster launcher, interposing line chaos on every
+    worker it spawns.  The coordinator cannot tell the difference --
+    which is the point: its protocol handling must already tolerate a
+    lossy, garbling transport."""
+
+    def __init__(self, inner, chaos: "LineChaos | None" = None) -> None:
+        self.inner = inner
+        self.chaos = chaos if chaos is not None else LineChaos()
+        self.procs: "list[_ChaosProc]" = []
+
+    def command(self, worker_id: int, worker_args: "list[str]") -> "list[str]":
+        return self.inner.command(worker_id, worker_args)
+
+    def launch(self, worker_id: int, worker_args: "list[str]"):
+        proc = _ChaosProc(
+            self.inner.launch(worker_id, worker_args), self.chaos, worker_id
+        )
+        self.procs.append(proc)
+        return proc
+
+    @property
+    def dropped(self) -> int:
+        return sum(p.stdout.dropped for p in self.procs)
+
+    @property
+    def garbled(self) -> int:
+        return sum(p.stdout.garbled for p in self.procs)
+
+    def __repr__(self) -> str:
+        return f"ChaosLauncher({self.inner!r}, {self.chaos!r})"

@@ -1,0 +1,137 @@
+"""``repro cache fsck``: audit (and quarantine damage in) a result bus.
+
+The content-addressed store is self-verifying -- every entry is
+``<spec-digest>.json`` whose embedded spec must round-trip to that
+digest, which is exactly the staleness check
+:func:`repro.api.executor.load_cached_result` applies before trusting
+an entry.  Sweeps therefore *recover* from damage automatically (a
+corrupt or mismatched entry is recomputed as a ``cache_stale`` miss),
+but silently: fsck makes the damage visible, and ``--repair`` moves the
+bad bytes into ``DIR/quarantine/`` so the evidence survives the
+recompute that would otherwise overwrite it.
+
+Entry classification:
+
+* ``ok`` -- parses, and the embedded spec's digest matches the file name.
+* ``corrupt`` -- unreadable or not a canonical result document
+  (interrupted write, truncation, bit rot).
+* ``mismatched`` -- a valid result filed under the wrong digest
+  (tampering or a tooling bug; these poison nothing, but they can never
+  be hit and waste the recompute that landed them).
+* ``orphan_tmp`` -- a ``*.tmp`` staging file with no living writer
+  (writers rename within milliseconds; an old temp file is the corpse
+  of a killed writer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Temp files younger than this may belong to a live writer and are
+#: left alone (atomic publishes take milliseconds; one minute is eons).
+ORPHAN_TMP_AGE_SECONDS = 60.0
+
+#: Quarantine subdirectory created by ``--repair``.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class FsckReport:
+    """What a scan found (paths are bus-relative for readable logs)."""
+
+    cache_dir: Path
+    ok: int = 0
+    corrupt: "list[str]" = field(default_factory=list)
+    mismatched: "list[str]" = field(default_factory=list)
+    orphan_tmp: "list[str]" = field(default_factory=list)
+    skipped_tmp: int = 0
+    quarantined: "list[str]" = field(default_factory=list)
+
+    @property
+    def issues(self) -> int:
+        return len(self.corrupt) + len(self.mismatched) + len(self.orphan_tmp)
+
+    def to_dict(self) -> dict:
+        return {
+            "cache_dir": str(self.cache_dir),
+            "ok": self.ok,
+            "corrupt": list(self.corrupt),
+            "mismatched": list(self.mismatched),
+            "orphan_tmp": list(self.orphan_tmp),
+            "skipped_tmp": self.skipped_tmp,
+            "quarantined": list(self.quarantined),
+            "issues": self.issues,
+        }
+
+
+def scan_entry(path: Path) -> str:
+    """Classify one ``<digest>.json`` entry: ``ok`` | ``corrupt`` |
+    ``mismatched`` (the same failure modes ``load_cached_result`` folds
+    into its stale signal, split apart for reporting)."""
+    from repro.api.result import ExperimentResult
+
+    try:
+        result = ExperimentResult.load(path)
+    except (ValueError, KeyError, OSError):
+        return "corrupt"
+    if result.spec.digest() != path.stem:
+        return "mismatched"
+    return "ok"
+
+
+def fsck_cache(
+    cache_dir: "str | Path",
+    repair: bool = False,
+    *,
+    tmp_age: float = ORPHAN_TMP_AGE_SECONDS,
+) -> FsckReport:
+    """Scan a result bus; with ``repair`` move damaged entries and
+    orphaned temp files into ``cache_dir/quarantine/``.
+
+    Quarantining (not deleting) keeps repair safe to run on a live bus:
+    worst case a racing writer re-lands the digest, which is idempotent
+    by construction.
+    """
+    cache_dir = Path(cache_dir)
+    report = FsckReport(cache_dir=cache_dir)
+    if not cache_dir.is_dir():
+        raise FileNotFoundError(f"no result cache at {cache_dir}")
+    quarantine = cache_dir / QUARANTINE_DIR
+    now = time.time()
+
+    def _quarantine(path: Path) -> None:
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / path.name
+        try:
+            path.replace(target)
+        except OSError:
+            return  # vanished mid-repair (racing writer); nothing to move
+        report.quarantined.append(path.name)
+
+    for path in sorted(cache_dir.iterdir()):
+        if not path.is_file():
+            continue
+        if path.name.endswith(".tmp"):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # unlinked between listing and stat
+            if age < tmp_age:
+                report.skipped_tmp += 1
+                continue
+            report.orphan_tmp.append(path.name)
+            if repair:
+                _quarantine(path)
+            continue
+        if path.suffix != ".json":
+            continue
+        status = scan_entry(path)
+        if status == "ok":
+            report.ok += 1
+            continue
+        getattr(report, status).append(path.name)
+        if repair:
+            _quarantine(path)
+    return report

@@ -1,0 +1,299 @@
+"""The crash-safe sweep journal: durable sweep *intent* plus per-cell
+progress, so a killed coordinator costs only the unlanded cells.
+
+The result bus (the content-addressed ``CachingExecutor`` directory)
+already makes landed cells durable -- workers rename canonical result
+JSON into it atomically, and a warm bus replays as byte-identical cache
+hits.  What the bus cannot answer is *what the sweep was*: which grid,
+in which order, and how far it got.  The journal records exactly that:
+
+* ``repro sweep --journal DIR`` writes ``DIR/journal.json`` before the
+  first cell runs: the full grid description (the same dict the sweep
+  JSON embeds), the digest-keyed cell list in reporting order, and a
+  per-cell state machine (``pending`` -> ``landed`` | ``failed`` |
+  ``exhausted``) folded from the executor event stream as results land.
+* Every write is atomic (unique temp name + ``os.replace``, the same
+  discipline as the result bus), so a SIGKILL at any instant leaves
+  either the previous or the next journal -- never a torn one.
+* ``repro sweep --resume DIR`` rebuilds the grid from the journal,
+  reconciles cell states against the bus (the bus is authoritative: a
+  coordinator killed between a worker's rename and the journal flush
+  under-reports, never over-reports), and re-runs the sweep against the
+  same bus -- landed cells are byte-identical cache hits, only unlanded
+  cells recompute, and the output is byte-identical to an uninterrupted
+  run because first-landed-digest-wins made landing idempotent.
+
+Digest-neutrality: the journal is operational state *about* a sweep,
+never part of one.  Nothing here enters spec digests, cache keys, or
+canonical result bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+#: Bump when the journal layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+#: The manifest file name inside a journal directory.
+JOURNAL_NAME = "journal.json"
+
+#: Default result-bus subdirectory for journals that own their bus.
+DEFAULT_BUS_NAME = "bus"
+
+#: The per-cell state machine.  ``pending`` cells have no durable
+#: result; ``landed`` cells are in the bus; ``failed`` cells raised at
+#: least once (and may later land via a retry); ``exhausted`` cells ran
+#: out of distributed retry budget (the local merge pass still computes
+#: them, after which they land).
+CELL_STATES = ("pending", "landed", "failed", "exhausted")
+
+_TMP_IDS = itertools.count()
+
+
+def journal_path(directory: "str | Path") -> Path:
+    """Where the manifest lives inside a journal directory."""
+    return Path(directory) / JOURNAL_NAME
+
+
+class SweepJournal:
+    """The on-disk manifest of one sweep campaign.
+
+    One instance wraps one journal directory.  Mutators keep the
+    in-memory state and the file in sync (:meth:`handle_event` flushes
+    on every state transition -- journal writes are one small JSON file,
+    orders of magnitude cheaper than a cell).
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        grid: dict,
+        cells: "list[dict]",
+        bus: str,
+        created: "float | None" = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.grid = grid
+        self.cells = cells
+        self.bus = bus
+        self.created = created if created is not None else round(time.time(), 6)
+        self._by_digest = {cell["digest"]: cell for cell in cells}
+
+    # ------------------------------------------------------------------
+    # construction / loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: "str | Path",
+        grid: dict,
+        specs,
+        bus: "str | Path | None" = None,
+    ) -> "SweepJournal":
+        """Start a journal for ``specs`` (reporting order) under
+        ``directory`` and durably write the initial all-pending state.
+
+        ``bus`` names the result-bus directory; ``None`` places it
+        inside the journal directory (``DIR/bus``), recorded relative
+        so the journal directory can be moved as a unit.
+        """
+        cells = [
+            {
+                "digest": spec.digest(),
+                "label": spec.label(),
+                "state": "pending",
+                "attempts": 0,
+            }
+            for spec in specs
+        ]
+        bus_text = DEFAULT_BUS_NAME if bus is None else str(bus)
+        journal = cls(directory, grid, cells, bus_text)
+        journal.directory.mkdir(parents=True, exist_ok=True)
+        journal.bus_path().mkdir(parents=True, exist_ok=True)
+        journal.flush()
+        return journal
+
+    @classmethod
+    def load(cls, directory: "str | Path") -> "SweepJournal":
+        """Load an existing journal (raises ``FileNotFoundError`` when
+        the directory holds none, ``ValueError`` when it is unreadable
+        -- a torn write is impossible by construction, so a corrupt
+        manifest means external damage and deserves a loud error)."""
+        path = journal_path(directory)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt sweep journal {path}: {exc}") from exc
+        if not isinstance(data, dict) or "cells" not in data or "grid" not in data:
+            raise ValueError(f"corrupt sweep journal {path}: not a manifest")
+        version = data.get("journal_version")
+        if version != JOURNAL_VERSION:
+            raise ValueError(
+                f"sweep journal {path} has version {version!r}; this build "
+                f"speaks {JOURNAL_VERSION}"
+            )
+        return cls(
+            directory,
+            data["grid"],
+            data["cells"],
+            data.get("bus", DEFAULT_BUS_NAME),
+            created=data.get("created"),
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def bus_path(self) -> Path:
+        """The result-bus directory (relative entries resolve against
+        the journal directory)."""
+        bus = Path(self.bus)
+        return bus if bus.is_absolute() else self.directory / bus
+
+    def to_grid(self):
+        """Rebuild the :class:`~repro.api.grid.Grid` this journal
+        recorded, exactly as the original sweep composed it."""
+        from repro.api.grid import Grid
+        from repro.system.machine import MachineConfig
+
+        grid = self.grid
+        return Grid(
+            components=tuple(grid["components"]),
+            benchmarks=tuple(grid["benchmarks"]),
+            seeds=tuple(grid["seeds"]),
+            mode=grid["mode"],
+            n=grid["n"],
+            machine=MachineConfig.from_dict(grid["machine"]),
+            scale=grid["scale"],
+            fault=grid.get("fault"),
+            engine=grid.get("engine"),
+        )
+
+    def matches(self, specs) -> bool:
+        """Whether ``specs`` (in order) are exactly the journaled cells."""
+        return [cell["digest"] for cell in self.cells] == [
+            spec.digest() for spec in specs
+        ]
+
+    def counts(self) -> dict:
+        """Cells per state (always includes every known state)."""
+        out = {state: 0 for state in CELL_STATES}
+        for cell in self.cells:
+            out[cell.get("state", "pending")] = (
+                out.get(cell.get("state", "pending"), 0) + 1
+            )
+        return out
+
+    def unlanded(self) -> "list[int]":
+        """Indices (reporting order) of cells with no durable result."""
+        return [
+            i for i, cell in enumerate(self.cells) if cell["state"] != "landed"
+        ]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def mark(
+        self, digest: str, state: str, attempts: "int | None" = None
+    ) -> bool:
+        """Move one cell to ``state`` (returns whether anything changed;
+        unknown digests are ignored -- the event stream may mention
+        cells from a concurrent sweep sharing the bus)."""
+        if state not in CELL_STATES:
+            raise ValueError(f"unknown cell state {state!r}")
+        cell = self._by_digest.get(digest)
+        if cell is None:
+            return False
+        changed = cell["state"] != state
+        cell["state"] = state
+        if attempts is not None and attempts != cell.get("attempts"):
+            cell["attempts"] = attempts
+            changed = True
+        return changed
+
+    def handle_event(self, event: dict) -> None:
+        """Fold one executor ``on_event`` record into cell state and
+        flush on change.  ``cell_done`` and ``cache_hit`` both mean the
+        cell's canonical result is durable (the caching layer stores
+        before the sweep reports); retries/timeouts bump the attempt
+        count; ``cell_exhausted`` marks the distributed budget spent
+        (the local merge pass will still land the cell afterwards)."""
+        if not isinstance(event, dict):
+            return
+        digest = event.get("digest")
+        if not digest:
+            return
+        etype = event.get("type")
+        if etype in ("cell_done", "cache_hit"):
+            changed = self.mark(digest, "landed")
+        elif etype == "cell_error":
+            changed = self.mark(digest, "failed")
+        elif etype in ("cell_retry", "cell_timeout"):
+            cell = self._by_digest.get(digest)
+            changed = False
+            if cell is not None and "attempt" in event:
+                changed = event["attempt"] != cell.get("attempts")
+                cell["attempts"] = event["attempt"]
+        elif etype == "cell_exhausted":
+            changed = self.mark(
+                digest, "exhausted", attempts=event.get("attempt")
+            )
+        else:
+            return
+        if changed:
+            self.flush()
+
+    def reconcile(self, specs) -> int:
+        """Trust the bus over the journal: mark every cell whose valid
+        canonical result is already on the bus as landed (a coordinator
+        killed after a worker's atomic rename but before the journal
+        flush under-reports).  Returns how many cells flipped."""
+        from repro.api.executor import load_cached_result, result_cache_path
+
+        bus = self.bus_path()
+        flipped = 0
+        for spec in specs:
+            digest = spec.digest()
+            cell = self._by_digest.get(digest)
+            if cell is None or cell["state"] == "landed":
+                continue
+            cached, _stale = load_cached_result(
+                result_cache_path(bus, spec), spec
+            )
+            if cached is not None:
+                cell["state"] = "landed"
+                flipped += 1
+        if flipped:
+            self.flush()
+        return flipped
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "journal_version": JOURNAL_VERSION,
+            "created": self.created,
+            "grid": self.grid,
+            "bus": self.bus,
+            "cells": self.cells,
+        }
+
+    def flush(self) -> None:
+        """Atomically publish the manifest (write-then-rename with a
+        unique temp name, the result-bus discipline: a SIGKILL mid-write
+        leaves the previous manifest intact)."""
+        path = journal_path(self.directory)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_IDS)}.tmp"
+        )
+        tmp.write_text(blob + "\n")
+        tmp.replace(path)

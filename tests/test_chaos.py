@@ -1,0 +1,396 @@
+"""Chaos scenarios against the execution fabric: real process kills,
+frozen workers, corrupted bus bytes, and lossy protocol transports.
+
+Every scenario ends on the same two assertions the resilience layer
+exists to defend: the surviving (or resumed) sweep is byte-identical to
+an uninterrupted serial run, and the progress/journal accounting stays
+coherent.  See :mod:`repro.resilience.chaos` for the fault toolkit.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.api import (
+    CachingExecutor,
+    Grid,
+    ParallelExecutor,
+    SerialExecutor,
+    dumps_canonical,
+    result_cache_path,
+)
+from repro.cli import main
+from repro.cluster import ClusterExecutor, LocalLauncher
+from repro.obs import ProgressState
+from repro.resilience import RetryPolicy, SweepJournal
+from repro.resilience.chaos import (
+    ChaosLauncher,
+    LineChaos,
+    corrupt_entry,
+    sigcont,
+    sigkill,
+    sigstop,
+    truncate_entry,
+    wait_for,
+)
+from repro.system.machine import MachineConfig
+
+CFG = MachineConfig(cores=2, threads_per_core=2, l2_banks=8, l2_sets=8)
+
+#: Enough per-cell wall time (~0.3s at n=8) that a fault injected at
+#: ``cell_start`` always lands while the cell is still running.
+GRID = Grid(
+    components=("l2c", "mcu", "ccx"),
+    benchmarks=("fft", "radi"),
+    seeds=(2015,),
+    mode="injection",
+    n=8,
+    machine=CFG,
+    scale=5e-6,
+)
+
+#: Zero-backoff so recovery paths never sleep; a 1.5s deadline is ~5x a
+#: cell's runtime, so healthy cells never trip it.
+DEADLINE_RETRY = RetryPolicy(
+    max_attempts=5, backoff_base=0.0, cell_timeout=1.5
+)
+
+
+def _blobs(results):
+    return [dumps_canonical(r.to_dict()) for r in results]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    return _blobs(SerialExecutor().run(GRID.specs()))
+
+
+# ----------------------------------------------------------------------
+# coordinator SIGKILL -> --resume (the full CLI journal loop)
+# ----------------------------------------------------------------------
+SWEEP_ARGS = [
+    "sweep",
+    "--components", "l2c", "mcu", "ccx",
+    "--benchmarks", "fft", "radi",
+    "--n", "8",
+    "--cores", "2", "--threads-per-core", "2", "--scale", "5e-6",
+]
+
+
+def test_coordinator_sigkill_then_resume_is_byte_identical(
+    tmp_path, capsys
+):
+    baseline_file = tmp_path / "baseline.json"
+    assert main([*SWEEP_ARGS, "--json", str(baseline_file)]) == 0
+    baseline = json.loads(baseline_file.read_text())
+    total = len(baseline["results"])
+    capsys.readouterr()
+
+    journal_dir = tmp_path / "journal"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", *SWEEP_ARGS,
+            "--journal", str(journal_dir),
+            "--json", str(tmp_path / "never-written.json"),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+    def landed() -> int:
+        try:
+            return SweepJournal.load(journal_dir).counts()["landed"]
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    try:
+        # journal flushes are atomic renames, so polling reads are
+        # always whole manifests; kill as soon as real progress landed
+        assert wait_for(
+            lambda: landed() >= 1 and proc.poll() is None, timeout=60.0
+        ), "the journaled sweep never landed a cell"
+        sigkill(proc.pid)
+        proc.wait(timeout=30)
+    finally:
+        proc.kill()
+    assert proc.returncode == -signal.SIGKILL
+
+    survived = SweepJournal.load(journal_dir)
+    landed_at_kill = survived.counts()["landed"]
+    assert 1 <= landed_at_kill < total, "kill landed outside the window"
+    assert survived.unlanded()  # the resume has real work to do
+
+    resumed_file = tmp_path / "resumed.json"
+    assert main(
+        ["sweep", "--resume", str(journal_dir), "--json", str(resumed_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    resumed = json.loads(resumed_file.read_text())
+    # byte-identity: the interrupted+resumed sweep equals the clean run
+    assert resumed["results"] == baseline["results"]
+    assert resumed["grid"] == baseline["grid"]
+    # only unlanded cells recomputed: every landed cell replayed as a
+    # bus hit (reconcile may flip cells the journal missed at kill time)
+    assert "resuming journal" in out
+    hits_line = next(
+        line for line in out.splitlines() if "result cache" in line
+    )
+    hits = int(hits_line.split(":")[-1].split("hits")[0].strip())
+    misses = int(hits_line.split(",")[-1].split("misses")[0].strip())
+    assert hits >= landed_at_kill
+    assert hits + misses == total
+    assert misses == total - hits
+    assert f"{total}/{total} cells landed" in out
+    assert SweepJournal.load(journal_dir).unlanded() == []
+
+
+# ----------------------------------------------------------------------
+# frozen (SIGSTOPped) workers vs the per-cell deadline
+# ----------------------------------------------------------------------
+def _freeze_first_cell_start(events, frozen):
+    """SIGSTOP the worker hosting the first observed cell_start: the
+    'hung worker' fault -- alive, unresponsive, cell never finishing."""
+
+    def on_event(event):
+        events.append(event)
+        if (
+            event.get("type") == "cell_start"
+            and not frozen
+            and event.get("worker")
+        ):
+            frozen.append(event["worker"])
+            sigstop(event["worker"])
+
+    return on_event
+
+
+def test_parallel_sigstopped_worker_hits_deadline_and_recovers(
+    serial_baseline,
+):
+    specs = GRID.specs()
+    events, frozen = [], []
+    state = ProgressState(total=len(specs))
+    hook = _freeze_first_cell_start(events, frozen)
+
+    def on_event(event):
+        hook(event)
+        state.handle(event)
+
+    executor = ParallelExecutor(workers=2, retry=DEADLINE_RETRY)
+    try:
+        results = executor.run(specs, on_event=on_event)
+    finally:
+        for pid in frozen:
+            sigcont(pid)  # no-op once the deadline SIGKILLed it
+    assert frozen, "no cell_start ever reported a worker pid"
+    assert _blobs(results) == serial_baseline
+    timeouts = [e for e in events if e["type"] == "cell_timeout"]
+    assert timeouts, "the frozen cell never tripped its deadline"
+    assert timeouts[0]["worker"] == frozen[0]
+    assert timeouts[0]["timeout"] == DEADLINE_RETRY.cell_timeout
+    report = state.report()
+    assert report["done"] == len(specs)
+    assert report["malformed_events"] == 0
+    assert report["timeouts"] >= 1
+
+
+def test_cluster_sigstopped_worker_hits_deadline_and_recovers(
+    tmp_path, serial_baseline
+):
+    specs = GRID.specs()
+    events, frozen = [], []
+    state = ProgressState(total=len(specs))
+    hook = _freeze_first_cell_start(events, frozen)
+
+    def on_event(event):
+        hook(event)
+        state.handle(event)
+
+    executor = ClusterExecutor(
+        workers=2,
+        cache_dir=tmp_path / "bus",
+        heartbeat_interval=0.2,
+        # a frozen worker also stops heartbeating; park that detector so
+        # the *deadline* path is provably what recovers the cell
+        heartbeat_timeout=60.0,
+        retry=DEADLINE_RETRY,
+    )
+    try:
+        results = executor.run(specs, on_event=on_event)
+    finally:
+        for pid in frozen:
+            sigcont(pid)
+    assert frozen, "no cell_start ever reported a worker pid"
+    assert _blobs(results) == serial_baseline
+    assert executor.last_timeouts >= 1
+    timeouts = [e for e in events if e["type"] == "cell_timeout"]
+    assert timeouts and timeouts[0]["worker"] == frozen[0]
+    # the killed worker's cells were re-queued, not lost
+    assert any(e["type"] == "cell_retry" for e in events)
+    report = state.report()
+    assert report["done"] == len(specs)
+    assert report["malformed_events"] == 0
+
+
+def test_cluster_sigkilled_worker_with_journal_stays_coherent(
+    tmp_path, serial_baseline
+):
+    specs = GRID.specs()
+    journal = SweepJournal.create(
+        tmp_path / "journal",
+        {"note": "cluster chaos"},  # grid dict unused by handle_event
+        specs,
+        bus=tmp_path / "bus",
+    )
+    killed = []
+
+    def on_event(event):
+        journal.handle_event(event)
+        if (
+            event.get("type") == "cell_done"
+            and not killed
+            and event.get("worker")
+        ):
+            killed.append(event["worker"])
+            sigkill(event["worker"])
+
+    executor = ClusterExecutor(
+        workers=2,
+        cache_dir=tmp_path / "bus",
+        heartbeat_interval=0.2,
+        retry=RetryPolicy(max_attempts=5, backoff_base=0.0),
+    )
+    results = executor.run(specs, on_event=on_event)
+    assert killed
+    assert executor.last_worker_deaths == 1
+    assert _blobs(results) == serial_baseline
+    journal.reconcile(specs)
+    assert journal.unlanded() == []
+    assert SweepJournal.load(journal.directory).counts()["landed"] == len(
+        specs
+    )
+
+
+# ----------------------------------------------------------------------
+# bus damage: corrupt / truncated entries recompute byte-identically
+# ----------------------------------------------------------------------
+def test_damaged_bus_entries_recompute_byte_identically(
+    tmp_path, serial_baseline
+):
+    specs = GRID.specs()
+    cache = tmp_path / "cache"
+    first = CachingExecutor(cache, SerialExecutor()).run(specs)
+    assert _blobs(first) == serial_baseline
+    corrupt_entry(result_cache_path(cache, specs[0]))
+    truncate_entry(result_cache_path(cache, specs[1]))
+
+    events = []
+    executor = CachingExecutor(cache, SerialExecutor())
+    again = executor.run(specs, on_event=events.append)
+    assert _blobs(again) == serial_baseline
+    stale = [e["index"] for e in events if e["type"] == "cache_stale"]
+    assert stale == [0, 1]
+    assert executor.last_hits == len(specs) - 2
+    # the recompute re-landed valid entries under the same digests
+    from repro.resilience import fsck_cache
+
+    assert fsck_cache(cache).issues == 0
+
+
+# ----------------------------------------------------------------------
+# lossy protocol transports
+# ----------------------------------------------------------------------
+class _DropFirstLanding:
+    """Targeted line chaos: on a single worker stream, swallow one
+    cell's ``cell_done`` event *and* its ``cell_result`` ack.
+
+    That is the nastiest protocol loss: the result is durable on the
+    bus, the coordinator's running-cell shadow still holds the cell
+    (its ``cell_done`` never arrived), but the landing ack is gone --
+    only the per-cell deadline can recover it.
+    """
+
+    def __init__(self) -> None:
+        self.claimed = None  # the one stream we damage
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def for_worker(self, worker_id: int) -> int:
+        return worker_id
+
+    def apply(self, worker_id: int, line: str) -> "str | None":
+        with self._lock:
+            if '"type":"cell_done"' in line and self.claimed is None:
+                self.claimed = worker_id
+                self.dropped += 1
+                return None
+            if (
+                worker_id == self.claimed
+                and self.dropped == 1
+                and '"type":"cell_result"' in line
+            ):
+                self.dropped += 1
+                return None
+        return line
+
+
+def test_dropped_landing_ack_recovers_via_deadline(
+    tmp_path, serial_baseline
+):
+    specs = GRID.specs()
+    chaos = _DropFirstLanding()
+    launcher = ChaosLauncher(LocalLauncher(), chaos)
+    events = []
+    executor = ClusterExecutor(
+        workers=2,
+        launcher=launcher,
+        cache_dir=tmp_path / "bus",
+        heartbeat_interval=0.2,
+        heartbeat_timeout=60.0,
+        retry=DEADLINE_RETRY,
+    )
+    results = executor.run(specs, on_event=events.append)
+    assert chaos.dropped == 2, "no landing was ever swallowed"
+    assert _blobs(results) == serial_baseline
+    # the silent cell tripped its deadline and re-queued; the retry
+    # resolved as a free bus hit (the first attempt's rename landed)
+    assert executor.last_timeouts >= 1
+    assert any(e["type"] == "cell_timeout" for e in events)
+    assert any(e["type"] == "cell_retry" for e in events)
+
+
+def test_randomly_lossy_garbled_transport_stays_byte_identical(
+    tmp_path, serial_baseline
+):
+    specs = GRID.specs()
+    # protect the landing acks (livelock-free by construction: a lost
+    # ack is the *deadline's* job, proven above) and the handshake;
+    # everything else -- telemetry, heartbeats -- is fair game
+    chaos = LineChaos(
+        drop=0.2, garble=0.2, seed=7, protect=("ready", "cell_result")
+    )
+    launcher = ChaosLauncher(LocalLauncher(), chaos)
+    state = ProgressState(total=len(specs))
+    executor = ClusterExecutor(
+        workers=2,
+        launcher=launcher,
+        cache_dir=tmp_path / "bus",
+        heartbeat_interval=0.2,
+        retry=RetryPolicy(max_attempts=5, backoff_base=0.0),
+    )
+    results = executor.run(specs, on_event=state.handle)
+    assert launcher.dropped + launcher.garbled > 0, (
+        "chaos never touched a line; the scenario tested nothing"
+    )
+    assert _blobs(results) == serial_baseline
+    # garbled lines die in parse_line, never in the event stream
+    assert state.report()["malformed_events"] == 0
