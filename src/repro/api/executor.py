@@ -1028,6 +1028,8 @@ def make_executor(
     max_retries: "int | None" = None,
     heartbeat_timeout: "float | None" = None,
     cell_timeout: "float | None" = None,
+    worker_procs: "int | None" = None,
+    session: "Session | None" = None,
 ) -> Executor:
     """``workers <= 1`` selects the serial path, anything else the pool;
     ``cache_dir`` wraps the chosen executor in a :class:`CachingExecutor`.
@@ -1041,7 +1043,14 @@ def make_executor(
     attempts after the first; ``max_attempts = max_retries + 1``) and
     ``cell_timeout`` (per-cell wall-clock deadline, seconds) -- and one
     is built.  ``heartbeat_timeout`` only applies to the cluster backend
-    (seconds of silence before a worker is declared dead)."""
+    (seconds of silence before a worker is declared dead), as does
+    ``worker_procs`` (each worker agent runs its shard through a
+    process pool of that size instead of serially).
+
+    ``session`` threads a caller-owned :class:`Session` into the serial
+    path -- the serve daemon passes its warm platform pool here so
+    repeat jobs skip cold starts.  Pool and cluster backends ignore it
+    (their workers own per-process sessions)."""
     if retry is None and (max_retries is not None or cell_timeout is not None):
         retry = RetryPolicy(
             max_attempts=(max_retries if max_retries is not None else 2) + 1,
@@ -1053,6 +1062,8 @@ def make_executor(
             options["retry"] = retry
         if heartbeat_timeout is not None:
             options["heartbeat_timeout"] = heartbeat_timeout
+        if worker_procs is not None and worker_procs > 1:
+            options["worker_procs"] = worker_procs
         return executor_backend("cluster")(
             workers=cluster,
             launcher=launcher,
@@ -1061,7 +1072,7 @@ def make_executor(
             **options,
         )
     if workers <= 1:
-        executor: Executor = SerialExecutor(retry=retry)
+        executor: Executor = SerialExecutor(session, retry=retry)
     else:
         executor = ParallelExecutor(
             workers=workers, chunksize=chunksize, retry=retry

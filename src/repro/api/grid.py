@@ -48,6 +48,46 @@ class Grid:
     #: spec JSON deliberately omits it.
     engine: "str | None" = None
 
+    def to_dict(self) -> dict:
+        """The grid description embedded in sweep JSON, journals, and
+        serve job requests (key order is canonicalized by the JSON
+        encoder, so identical grids serialize identically)."""
+        return {
+            "components": list(self.components),
+            "benchmarks": list(self.benchmarks),
+            "seeds": list(self.seeds),
+            "mode": self.mode,
+            "n": self.n,
+            "machine": self.machine.to_dict(),
+            "scale": self.scale,
+            "fault": self.fault,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Grid":
+        """Rebuild a grid from :meth:`to_dict` output (journals, sweep
+        JSON, serve requests).  Missing optional keys take the dataclass
+        defaults; a malformed machine dict raises ``KeyError`` /
+        ``ValueError`` for the caller to surface."""
+        return cls(
+            components=tuple(
+                data.get("components", INJECTION_COMPONENTS)
+            ),
+            benchmarks=tuple(data.get("benchmarks", ALL_BENCHMARKS)),
+            seeds=tuple(data.get("seeds", (2015,))),
+            mode=data.get("mode", "injection"),
+            n=data.get("n", 100),
+            machine=(
+                MachineConfig.from_dict(data["machine"])
+                if "machine" in data
+                else DEFAULT_MACHINE
+            ),
+            scale=data.get("scale", DEFAULT_SCALE),
+            fault=data.get("fault"),
+            engine=data.get("engine"),
+        )
+
     def specs(self) -> list[ExperimentSpec]:
         """All valid cells of the grid, in reporting order."""
         # parse the fault spec once, up front: a malformed spec is a

@@ -13,10 +13,14 @@ and ``reference`` -- the everything-every-cycle baseline stepper):
 * ``sweep``: a small injection grid through the experiment API's serial
   executor, platform construction included.
 
-A fifth scenario, ``cluster``, is a *fabric* comparison rather than an
-engine row: the same grid through the serial executor and through a
-2-worker localhost cluster (:mod:`repro.cluster`) with a fresh result
-bus per repeat, reporting cells/sec for each and the scaling ratio.
+Two further scenarios are *fabric* comparisons rather than engine rows:
+``cluster`` runs the same grid through the serial executor and through
+a 2-worker localhost cluster (:mod:`repro.cluster`) with a fresh result
+bus per repeat, reporting cells/sec for each and the scaling ratio; and
+``serve`` load-tests the campaign daemon (:mod:`repro.serve`) over real
+localhost HTTP -- a cold grid run end to end (cells/sec) plus a warm
+phase of concurrent clients re-asking for the done job's results
+(requests/sec, p50/p95 request latency).
 
 Throughput is reported as simulated cycles per wall-clock second;
 ``Machine.cycles_advanced`` counts every advanced cycle including the
@@ -68,7 +72,7 @@ BENCH_BENCHMARK = "fft"
 BENCH_SCALE = 1.0 / 40_000.0
 BENCH_SEED = 2015
 
-ALL_SCENARIOS = ("golden", "injection", "qrr", "sweep", "cluster")
+ALL_SCENARIOS = ("golden", "injection", "qrr", "sweep", "cluster", "serve")
 
 
 @dataclass(frozen=True)
@@ -322,6 +326,126 @@ def _bench_cluster(settings: BenchSettings, log) -> dict:
     return entry
 
 
+def _percentile(samples: list, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _bench_serve(settings: BenchSettings, log) -> dict:
+    """Serve load test: the daemon under concurrent HTTP clients.
+
+    Like ``cluster``, a fabric row rather than an engine row.  Two
+    phases against one in-process daemon (real HTTP over localhost):
+
+    * **cold**: one grid submitted and run to completion on an empty
+      bus -- end-to-end cells/sec through admission, the journal, and
+      the warm pool, executor spawn included.
+    * **warm**: concurrent clients hammering submit(dedupe) + result
+      fetch for the now-done job -- requests/sec plus p50/p95 request
+      latency, i.e. the pure serving overhead once results are durable.
+    """
+    import tempfile
+    import threading
+
+    from repro.serve import CampaignService, ServeClient, make_server
+
+    specs = [
+        ExperimentSpec(
+            benchmark=BENCH_BENCHMARK,
+            component=component,
+            mode="injection",
+            machine=BENCH_MACHINE,
+            scale=BENCH_SCALE,
+            seed=seed,
+            n=settings.sweep_runs,
+        )
+        for component in ("l2c", "mcu")
+        for seed in (BENCH_SEED, BENCH_SEED + 1)
+    ]
+    cells = len(specs)
+    clients = 4
+    requests_per_client = max(5, settings.repeats * 5)
+    request = {"specs": [spec.to_dict() for spec in specs]}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        service = CampaignService(
+            Path(tmp) / "state",
+            queue_limit=max(16, clients * 2),
+            per_client_limit=clients * 2,
+        )
+        service.start()
+        server = make_server(service, host="127.0.0.1", port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            # cold: empty bus, real compute, one client waiting
+            client = ServeClient(url, client_id="bench-cold")
+            t0 = time.perf_counter()
+            view, _raw = client.run(request, timeout=600.0)
+            cold_seconds = time.perf_counter() - t0
+            assert view["status"] == "done"
+            job_id = view["id"]
+
+            # warm: concurrent clients, dedupe + bus-backed results
+            latencies: list[float] = []
+            lock = threading.Lock()
+
+            def hammer(worker: int) -> None:
+                mine = ServeClient(url, client_id=f"bench-{worker}")
+                samples = []
+                for _ in range(requests_per_client):
+                    t1 = time.perf_counter()
+                    resubmit = mine.submit(request)
+                    mine.result_bytes(resubmit["id"])
+                    samples.append(time.perf_counter() - t1)
+                with lock:
+                    latencies.extend(samples)
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,), daemon=True)
+                for i in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            warm_seconds = time.perf_counter() - t0
+            assert service.job(job_id).status == "done"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close(timeout=30.0)
+
+    total_requests = len(latencies)
+    entry = {
+        "cells": cells,
+        "clients": clients,
+        "cold": {
+            "seconds": round(cold_seconds, 6),
+            "cells_per_sec": round(cells / cold_seconds, 3)
+            if cold_seconds else 0.0,
+        },
+        "warm": {
+            "requests": total_requests,
+            "seconds": round(warm_seconds, 6),
+            "requests_per_sec": round(total_requests / warm_seconds, 3)
+            if warm_seconds else 0.0,
+            "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        },
+    }
+    log(
+        f"  serve: cold {entry['cold']['cells_per_sec']:.2f} cells/s; "
+        f"warm {entry['warm']['requests_per_sec']:.1f} req/s from "
+        f"{clients} clients (p50 {entry['warm']['latency_p50_ms']:.1f}ms, "
+        f"p95 {entry['warm']['latency_p95_ms']:.1f}ms)"
+    )
+    return entry
+
+
 _SCENARIO_FNS = {
     "golden": _bench_golden,
     "injection": _bench_injection,
@@ -342,6 +466,11 @@ def run_benches(
             # 2-worker localhost cluster on the default engine
             log("cluster:")
             results["cluster"] = _bench_cluster(settings, log)
+            continue
+        if scenario == "serve":
+            # also a fabric row: the daemon under concurrent clients
+            log("serve:")
+            results["serve"] = _bench_serve(settings, log)
             continue
         fn = _SCENARIO_FNS[scenario]
         log(f"{scenario}:")

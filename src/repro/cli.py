@@ -19,6 +19,10 @@ Usage::
     python -m repro.cli sweep --n 20 --journal .sweeps/run1
     python -m repro.cli sweep --resume .sweeps/run1
     python -m repro.cli sweep --n 20 --cluster 4 --cell-timeout 60 --max-retries 3
+    python -m repro.cli sweep --n 20 --cluster 4 --worker-procs 4
+    python -m repro.cli serve --state-dir .serve --port 8750
+    python -m repro.cli serve --state-dir .serve --port 0 --queue-limit 16
+    python -m repro.cli top http://127.0.0.1:8750/metrics --follow
     python -m repro.cli cache fsck .sweep-cache --repair
     python -m repro.cli faults list
     python -m repro.cli bench --tiny --json BENCH_step.json
@@ -166,17 +170,7 @@ def cmd_qrr(args) -> int:
 
 def _grid_dict(grid: Grid) -> dict:
     """The grid description embedded in sweep JSON and journals."""
-    return {
-        "components": list(grid.components),
-        "benchmarks": list(grid.benchmarks),
-        "seeds": list(grid.seeds),
-        "mode": grid.mode,
-        "n": grid.n,
-        "machine": grid.machine.to_dict(),
-        "scale": grid.scale,
-        "fault": grid.fault,
-        "engine": grid.engine,
-    }
+    return grid.to_dict()
 
 
 def cmd_sweep(args) -> int:
@@ -269,6 +263,7 @@ def cmd_sweep(args) -> int:
             max_retries=args.max_retries,
             heartbeat_timeout=args.heartbeat_timeout,
             cell_timeout=args.cell_timeout,
+            worker_procs=args.worker_procs,
         )
     except ValueError as exc:
         raise _UserError(str(exc)) from exc
@@ -595,7 +590,88 @@ def cmd_worker(args) -> int:
         engine=args.engine,
         worker_id=args.worker_id,
         heartbeat=args.heartbeat,
+        workers=args.workers,
     )
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: the always-on campaign daemon (see
+    :mod:`repro.serve`).  Runs until SIGTERM/SIGINT, then drains:
+    admission stops, running jobs are interrupted between cells and
+    re-queued durably, and a restart resumes with only unlanded cells
+    recomputing."""
+    import threading
+
+    from repro.resilience import GracefulShutdown, RetryPolicy
+    from repro.serve import CampaignService, make_server, write_endpoint_file
+
+    retry = RetryPolicy(
+        max_attempts=args.max_retries + 1,
+        backoff_base=0.05,
+        cell_timeout=args.cell_timeout,
+    )
+    service = CampaignService(
+        args.state_dir,
+        cache_dir=args.cache_dir,
+        queue_limit=args.queue_limit,
+        per_client_limit=args.per_client,
+        runners=args.runners,
+        workers=args.workers,
+        warm_platforms=args.warm_platforms,
+        engine=args.engine,
+        retry=retry,
+        job_timeout=args.job_timeout,
+    )
+    service.start()
+    recovered = service.recovered
+    fsck = recovered.get("fsck")
+    if fsck:
+        quarantined = len(fsck.get("quarantined", []))
+        line = f"startup fsck: {fsck.get('ok', 0)} bus entries ok"
+        if quarantined:
+            line += f", {quarantined} damaged entries quarantined"
+        print(line)
+    if recovered["jobs"]:
+        print(
+            f"recovered {recovered['jobs']} interrupted job(s) from "
+            f"{service.state_dir} (landed cells will replay as cache hits)"
+        )
+    for name in recovered.get("damaged", ()):
+        print(f"warning: skipped damaged job manifest {name}", file=sys.stderr)
+    try:
+        server = make_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        raise _UserError(
+            f"cannot bind {args.host}:{args.port}: {exc}"
+        ) from exc
+    host, port = server.server_address[:2]
+    write_endpoint_file(args.state_dir, host, port)
+    print(
+        f"repro serve: http://{host}:{port} "
+        f"(bus {service.bus}, queue limit {args.queue_limit}, "
+        f"{args.runners} runner(s) x {args.workers} worker(s))"
+    )
+    threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    ).start()
+    with GracefulShutdown() as guard:
+        try:
+            guard.stop.wait()
+        except KeyboardInterrupt:
+            return 130  # second signal: hard stop, journals stay consistent
+    print("repro serve: draining (admission stopped)")
+    server.shutdown()
+    service.close(timeout=args.drain_timeout)
+    stats = service.stats()
+    queued = stats["jobs"].get("queued", 0)
+    line = "repro serve: drained"
+    if queued:
+        line += (
+            f"; {queued} job(s) re-queued durably (restart with the same "
+            f"--state-dir to resume)"
+        )
+    print(line)
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -659,9 +735,11 @@ def cmd_top(args) -> int:
     while True:
         try:
             doc = read_snapshot(args.snapshot)
-        except FileNotFoundError:
+        except OSError:
+            # a missing file, or an unreachable /metrics URL (URLError
+            # is an OSError); --follow keeps polling either way
             if not args.follow:
-                print(f"no snapshot file at {args.snapshot}", file=sys.stderr)
+                print(f"no snapshot at {args.snapshot}", file=sys.stderr)
                 return 1
             doc = None
         if doc is not None:
@@ -775,6 +853,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--launcher", default=None, metavar="SPEC",
                    help="cluster worker transport: 'local' (default) or "
                         "'ssh:host1,host2' (requires a shared --cache-dir)")
+    p.add_argument("--worker-procs", type=int, default=1, metavar="N",
+                   help="(--cluster) process-pool size inside each worker "
+                        "agent: total fan-out becomes cluster x N "
+                        "(results stay byte-identical)")
     p.add_argument("--json", default=None, metavar="FILE",
                    help="persist all cell results ('-' for stdout)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -825,7 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "('-' for stdout only)")
     p.add_argument("--scenarios", nargs="+", default=None,
                    choices=["golden", "injection", "qrr", "sweep",
-                            "cluster"])
+                            "cluster", "serve"])
     p.add_argument("--check-against", default=None, metavar="BASELINE",
                    help="fail (exit 1) if event-engine cycles/sec regresses "
                         "more than --tolerance below this baseline JSON")
@@ -863,7 +945,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--worker-id", type=int, default=0)
     p.add_argument("--heartbeat", type=float, default=2.0, metavar="SECONDS",
                    help="liveness beacon period (<= 0 disables)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="run each shard through a supervised process "
+                        "pool of N workers instead of serially")
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on campaign service (HTTP/JSON job API)",
+    )
+    p.add_argument("--state-dir", default=".repro-serve", metavar="DIR",
+                   help="durable daemon state: job manifests + journals "
+                        "under DIR/jobs, the result bus under DIR/bus "
+                        "(unless --cache-dir), the bound endpoint in "
+                        "DIR/http.json")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="the content-addressed result bus (default: "
+                        "STATE_DIR/bus); fsck'd with --repair on startup "
+                        "and after executor crashes")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750,
+                   help="TCP port (0 picks an ephemeral port; the bound "
+                        "endpoint is advertised in STATE_DIR/http.json)")
+    p.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                   help="bounded job queue: submissions past N are "
+                        "refused with 503 + Retry-After")
+    p.add_argument("--per-client", type=int, default=2, metavar="N",
+                   help="per-client in-flight job cap: past N the client "
+                        "gets 429 + Retry-After")
+    p.add_argument("--runners", type=int, default=1, metavar="N",
+                   help="concurrent job runner threads (each executes "
+                        "one job at a time)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="process-pool size per job (1 runs cells "
+                        "serially in-daemon against the warm platform "
+                        "pool)")
+    p.add_argument("--warm-platforms", type=int, default=8, metavar="N",
+                   help="LRU capacity of the warm platform/snapshot "
+                        "pool shared across jobs")
+    p.add_argument("--engine", default=None, choices=list(ENGINES),
+                   help="cycle engine for daemon sessions "
+                        "(digest-neutral)")
+    p.add_argument("--max-retries", type=int, default=1, metavar="N",
+                   help="per-cell re-attempt budget inside a job")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-clock deadline (pool workers past "
+                        "it are killed and the cell re-queued)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job deadline: a job running longer is "
+                        "interrupted between cells and marked failed "
+                        "(landed cells stay durable)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="how long SIGTERM waits for running jobs to "
+                        "stop between cells before exiting anyway")
+    p.add_argument(
+        "--obs", action="store_true",
+        help="enable the metrics layer (the /metrics endpoint serves "
+             "the registry snapshot; digest-neutral)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "cache", help="inspect and repair a result cache / cluster bus"

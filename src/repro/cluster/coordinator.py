@@ -134,6 +134,12 @@ class ClusterExecutor:
             ``retry.cell_timeout`` gets its hosting worker killed (the
             process boundary is the only reliable way to stop a wedged
             simulation) and re-queues with the usual budget.
+        worker_procs: sub-process pool size *inside* each worker agent
+            (``repro worker --workers N``): the agent runs its shard
+            through a supervised :class:`ParallelExecutor` against the
+            bus instead of serially, multiplying fan-out to
+            ``workers x worker_procs`` processes.  1 keeps the classic
+            serial agent.
     """
 
     def __init__(
@@ -147,10 +153,14 @@ class ClusterExecutor:
         heartbeat_interval: float = 2.0,
         heartbeat_timeout: "float | None" = None,
         retry: "RetryPolicy | None" = None,
+        worker_procs: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if worker_procs < 1:
+            raise ValueError("worker_procs must be at least 1")
         self.workers = workers
+        self.worker_procs = worker_procs
         self.launcher = parse_launcher(launcher)
         self.cache_dir = cache_dir
         self.engine = engine
@@ -223,6 +233,8 @@ class ClusterExecutor:
         ]
         if engine is not None:
             args += ["--engine", engine]
+        if self.worker_procs > 1:
+            args += ["--workers", str(self.worker_procs)]
         return args
 
     def _batch_engine(self, specs: list) -> "str | None":

@@ -19,6 +19,19 @@ A cell that raises reports ``cell_error`` and the worker moves on; the
 coordinator decides whether to retry elsewhere or compute it locally.
 The agent exits on ``shutdown`` or EOF (coordinator death), never
 killing the host it runs on.
+
+``repro worker --workers N`` upgrades the agent from a serial loop to
+a supervised :class:`~repro.api.executor.ParallelExecutor` pool against
+the same bus (``workers x worker_procs`` total fan-out under one
+coordinator).  The protocol contract is unchanged: ``cell_result`` is
+sent strictly after a result is durable (the caching layer's
+``on_result`` fires after the atomic rename; a bus hit is durable by
+definition), and every cell of a shard is acknowledged with
+``cell_result`` or ``cell_error`` unless the agent is draining -- the
+coordinator's monitor loop counts on exactly that to terminate.  Like
+process-pool sweeps, pool workers fall back to the default engine
+(canonical spec JSON deliberately omits it; engines are digest-neutral
+so results are unaffected).
 """
 
 from __future__ import annotations
@@ -162,12 +175,123 @@ def _run_shard(
     channel.send({"type": "shard_done", "count": landed})
 
 
+def _run_shard_pooled(
+    cache_dir: Path,
+    cells,
+    channel: LineChannel,
+    workers: int,
+    drain: "threading.Event | None" = None,
+) -> None:
+    """Run one shard through a supervised process pool against the bus.
+
+    Coordinates are remapped shard-position -> grid index before any
+    message leaves the agent, so the coordinator sees the exact dialect
+    the serial loop speaks.  The hard invariant is the ack sweep at the
+    end: every cell must report ``cell_result`` (durable) or
+    ``cell_error`` (re-queueable) -- a silently dropped cell would spin
+    the coordinator's monitor loop forever.  Draining is the one
+    exception; the coordinator is draining too and EOF-requeues.
+    """
+    from repro.api.executor import (
+        CachingExecutor,
+        CellFailure,
+        ParallelExecutor,
+    )
+    from repro.resilience import RetryPolicy, SweepInterrupted
+
+    specs: list[ExperimentSpec] = []
+    grid_index: list[int] = []
+    grid_total = 0
+    for cell in cells:
+        index = cell.get("index", -1)
+        try:
+            spec = ExperimentSpec.from_dict(cell["spec"])
+        except Exception as exc:  # malformed cell: report, keep the shard
+            channel.send(
+                {
+                    "type": "cell_error",
+                    "index": index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            continue
+        specs.append(spec)
+        grid_index.append(index)
+        grid_total = max(grid_total, cell.get("total", 0))
+    acked: set[int] = set()  # positions in the shard's spec list
+    ack_lock = threading.Lock()
+
+    def ack(pos: int, digest: str) -> None:
+        with ack_lock:
+            if pos in acked:
+                return
+            acked.add(pos)
+        channel.send(
+            {"type": "cell_result", "index": grid_index[pos], "digest": digest}
+        )
+
+    def emit(event: dict) -> None:
+        pos = event.get("index")
+        mapped = event
+        if isinstance(pos, int) and 0 <= pos < len(grid_index):
+            mapped = {**event, "index": grid_index[pos]}
+            if "total" in mapped:
+                mapped["total"] = grid_total
+        channel.send({"type": "event", "event": mapped})
+        if (
+            mapped.get("type") == "cache_hit"
+            and isinstance(pos, int)
+            and 0 <= pos < len(grid_index)
+        ):
+            # a bus hit is durable by definition
+            ack(pos, mapped.get("digest", specs[pos].digest()))
+
+    def on_result(pos: int, _result) -> None:
+        # the caching layer calls this strictly after the atomic rename
+        ack(pos, specs[pos].digest())
+
+    executor = CachingExecutor(
+        cache_dir,
+        # one attempt per cell inside the agent: re-dispatch budget and
+        # deadlines belong to the coordinator, which sees every failure
+        ParallelExecutor(workers=workers, retry=RetryPolicy(max_attempts=1)),
+    )
+    failure: "str | None" = None
+    if specs:
+        try:
+            executor.run(
+                specs, on_event=emit, on_result=on_result, stop=drain
+            )
+        except SweepInterrupted:
+            pass  # draining: unacked cells are the coordinator's to requeue
+        except CellFailure as exc:
+            failure = exc.reason
+        except Exception as exc:  # pool machinery broke; cells survive
+            failure = f"{type(exc).__name__}: {exc}"
+    if drain is None or not drain.is_set():
+        reason = failure or "pooled shard ended without landing this cell"
+        with ack_lock:
+            unacked = [
+                pos for pos in range(len(specs)) if pos not in acked
+            ]
+        for pos in unacked:
+            channel.send(
+                {
+                    "type": "cell_error",
+                    "index": grid_index[pos],
+                    "error": reason,
+                }
+            )
+    channel.send({"type": "shard_done", "count": len(acked)})
+
+
 def run_worker(
     cache_dir: "str | Path",
     *,
     engine: "str | None" = None,
     worker_id: int = 0,
     heartbeat: float = 2.0,
+    workers: int = 1,
     in_stream=None,
     out_stream=None,
 ) -> int:
@@ -175,7 +299,9 @@ def run_worker(
 
     ``in_stream``/``out_stream`` default to stdin/stdout; tests inject
     in-memory streams to exercise the protocol without a subprocess.
-    ``heartbeat <= 0`` disables the beacon thread.
+    ``heartbeat <= 0`` disables the beacon thread.  ``workers > 1``
+    runs each shard through a supervised process pool
+    (:func:`_run_shard_pooled`) instead of the serial session loop.
 
     SIGTERM/SIGINT request a graceful drain: the worker finishes the
     cell it is running (which lands durably on the bus), skips the rest
@@ -229,10 +355,16 @@ def run_worker(
             if mtype == "shutdown":
                 break
             if mtype == "shard":
-                _run_shard(
-                    session, cache_dir, message.get("cells", ()), channel,
-                    drain=drain,
-                )
+                if workers > 1:
+                    _run_shard_pooled(
+                        cache_dir, message.get("cells", ()), channel,
+                        workers, drain=drain,
+                    )
+                else:
+                    _run_shard(
+                        session, cache_dir, message.get("cells", ()),
+                        channel, drain=drain,
+                    )
                 if drain.is_set():
                     break
             else:

@@ -54,6 +54,18 @@ def write_snapshot(path: "str | Path", registry=None) -> dict:
 
 
 def read_snapshot(path: "str | Path") -> dict:
+    """Load a snapshot from a file, or -- when ``path`` is an
+    ``http(s)://`` URL -- from a serve daemon's ``/metrics`` endpoint,
+    so ``repro top URL --follow`` watches a live daemon the same way it
+    watches a sweep's ``--obs-out`` file.  Network failures surface as
+    ``OSError`` (``urllib.error.URLError`` subclasses it), the same
+    family a missing file raises."""
+    text = str(path)
+    if text.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        with urlopen(text, timeout=10.0) as resp:
+            return json.loads(resp.read().decode("utf-8"))
     with open(path, encoding="utf-8") as fh:
         return json.load(fh)
 

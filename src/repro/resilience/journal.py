@@ -158,20 +158,31 @@ class SweepJournal:
         """Rebuild the :class:`~repro.api.grid.Grid` this journal
         recorded, exactly as the original sweep composed it."""
         from repro.api.grid import Grid
-        from repro.system.machine import MachineConfig
 
         grid = self.grid
-        return Grid(
-            components=tuple(grid["components"]),
-            benchmarks=tuple(grid["benchmarks"]),
-            seeds=tuple(grid["seeds"]),
-            mode=grid["mode"],
-            n=grid["n"],
-            machine=MachineConfig.from_dict(grid["machine"]),
-            scale=grid["scale"],
-            fault=grid.get("fault"),
-            engine=grid.get("engine"),
-        )
+        # reject sloppy manifests loudly: a grid-form journal must name
+        # its dimensions (Grid.from_dict would silently default them)
+        for key in ("components", "benchmarks", "seeds", "mode", "n",
+                    "machine", "scale"):
+            if key not in grid:
+                raise KeyError(key)
+        return Grid.from_dict(grid)
+
+    def to_specs(self):
+        """The journaled cell specs in reporting order.
+
+        Grid-form journals (``repro sweep --journal``) expand through
+        :meth:`to_grid`; explicit-form journals (serve jobs submitting
+        a spec list rather than a grid) record ``{"specs": [...]}`` and
+        rebuild each :class:`~repro.api.spec.ExperimentSpec` directly.
+        """
+        if isinstance(self.grid, dict) and "specs" in self.grid:
+            from repro.api.spec import ExperimentSpec
+
+            return [
+                ExperimentSpec.from_dict(d) for d in self.grid["specs"]
+            ]
+        return self.to_grid().specs()
 
     def matches(self, specs) -> bool:
         """Whether ``specs`` (in order) are exactly the journaled cells."""

@@ -1,0 +1,66 @@
+"""``repro serve``: the self-healing, always-on campaign service.
+
+The serve package composes the repo's resilience primitives -- the
+content-addressed result bus, :class:`~repro.resilience.RetryPolicy`,
+the atomic :class:`~repro.resilience.SweepJournal`, ``fsck`` -- into a
+long-running daemon with an HTTP/JSON job API:
+
+* :mod:`repro.serve.state` -- content-addressed job identity and the
+  crash-safe on-disk job store (manifest + journal per job).
+* :mod:`repro.serve.service` -- :class:`CampaignService`: admission
+  control (bounded queue, per-client caps, ``Retry-After``), the warm
+  :class:`PooledSession` platform LRU, runner + supervisor threads,
+  startup/crash ``fsck``, graceful drain.
+* :mod:`repro.serve.http` -- the stdlib HTTP transport
+  (``/jobs``, ``/healthz``, ``/readyz``, ``/stats``, ``/metrics``).
+* :mod:`repro.serve.client` -- a backpressure-aware urllib client.
+
+The headline contract is inherited, not new: a campaign served over
+HTTP -- through crashes, restarts, and resubmissions -- returns bytes
+identical to ``repro sweep --json`` in a fresh serial process.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http import (
+    ServeHandler,
+    endpoint_path,
+    make_server,
+    write_endpoint_file,
+)
+from repro.serve.service import (
+    AdmissionError,
+    CampaignService,
+    ClientBusy,
+    Draining,
+    PooledSession,
+    QueueFull,
+    UnknownJob,
+)
+from repro.serve.state import (
+    JOB_STATES,
+    Job,
+    JobStore,
+    job_id_for,
+    normalize_request,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CampaignService",
+    "ClientBusy",
+    "Draining",
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "PooledSession",
+    "QueueFull",
+    "ServeClient",
+    "ServeError",
+    "ServeHandler",
+    "UnknownJob",
+    "endpoint_path",
+    "job_id_for",
+    "make_server",
+    "normalize_request",
+    "write_endpoint_file",
+]

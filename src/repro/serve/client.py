@@ -1,0 +1,187 @@
+"""A small stdlib client for the serve daemon's HTTP/JSON API.
+
+Backpressure-aware by default: 429/503 responses carry ``Retry-After``
+and :class:`ServeClient` honors it with bounded retries, so a fleet of
+well-behaved clients converges instead of hammering an overloaded
+daemon.  Everything rides :mod:`urllib` -- no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+#: Admission statuses worth waiting out (the daemon said "later").
+RETRYABLE = (429, 503)
+
+
+class ServeError(Exception):
+    """A non-2xx response that was not (or could no longer be)
+    retried.  ``status`` is the HTTP code, ``body`` the parsed JSON
+    error document when one came back."""
+
+    def __init__(self, status: int, body, message: "str | None" = None):
+        self.status = status
+        self.body = body
+        detail = message
+        if detail is None and isinstance(body, dict):
+            detail = body.get("error")
+        super().__init__(f"HTTP {status}: {detail or body}")
+
+
+class ServeClient:
+    """One daemon endpoint, one client identity.
+
+    ``client_id`` feeds the daemon's per-client in-flight cap (the
+    ``X-Repro-Client`` header); defaults to this process's pid so
+    parallel test clients are distinct.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: "str | None" = None,
+        timeout: float = 30.0,
+        max_tries: int = 8,
+        retry_cap: float = 5.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = (
+            client_id if client_id is not None else f"pid-{id(self) & 0xffff}"
+        )
+        self.timeout = timeout
+        self.max_tries = max(1, max_tries)
+        self.retry_cap = retry_cap
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "dict | None" = None,
+        retry: bool = True,
+    ) -> "tuple[int, dict, bytes]":
+        """One HTTP exchange; retries 429/503 per ``Retry-After`` when
+        ``retry``.  Returns ``(status, headers, raw body bytes)``."""
+        url = self.base_url + path
+        data = None
+        headers = {"X-Repro-Client": self.client_id}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        tries = self.max_tries if retry else 1
+        last: "tuple[int, dict, bytes] | None" = None
+        for attempt in range(tries):
+            request = urllib.request.Request(
+                url, data=data, method=method, headers=headers
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return resp.status, dict(resp.headers), resp.read()
+            except urllib.error.HTTPError as exc:
+                payload = exc.read()
+                last = (exc.code, dict(exc.headers), payload)
+                if exc.code not in RETRYABLE or attempt == tries - 1:
+                    return last
+                delay = _retry_after(exc.headers, default=0.5)
+                time.sleep(min(self.retry_cap, delay))
+        assert last is not None  # tries >= 1
+        return last
+
+    @staticmethod
+    def _parse(raw: bytes):
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    def _json_call(
+        self, method: str, path: str, body=None, retry: bool = True,
+        ok=(200, 201),
+    ) -> dict:
+        status, _headers, raw = self._request(
+            method, path, body=body, retry=retry
+        )
+        doc = self._parse(raw)
+        if status not in ok:
+            raise ServeError(status, doc)
+        return doc if isinstance(doc, dict) else {}
+
+    # ------------------------------------------------------------------
+    # the API surface
+    # ------------------------------------------------------------------
+    def submit(self, request: dict, retry: bool = True) -> dict:
+        """Submit a campaign (``{"grid": ...}`` or ``{"spec(s)": ...}``);
+        returns the job view (``view["created"]`` says fresh vs
+        deduped).  With ``retry=False`` a 429/503 raises immediately --
+        the overload tests assert on exactly that."""
+        return self._json_call("POST", "/jobs", body=request, retry=retry)
+
+    def job(self, job_id: str) -> dict:
+        return self._json_call("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        return self._json_call("GET", "/jobs").get("jobs", [])
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json_call("DELETE", f"/jobs/{job_id}")
+
+    def stats(self) -> dict:
+        return self._json_call("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self._json_call("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _headers, _raw = self._request(
+            "GET", "/readyz", retry=False
+        )
+        return status == 200
+
+    def result_bytes(
+        self, job_id: str, wait: bool = False, timeout: float = 120.0
+    ) -> bytes:
+        """The canonical result document for a ``done`` job.
+
+        ``wait=True`` polls through 409 (still queued/running) honoring
+        ``Retry-After`` until ``timeout``; a terminal ``failed`` /
+        ``cancelled`` job raises :class:`ServeError` immediately.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, headers, raw = self._request(
+                "GET", f"/jobs/{job_id}/result", retry=False
+            )
+            if status == 200:
+                return raw
+            doc = self._parse(raw)
+            state = doc.get("status") if isinstance(doc, dict) else None
+            waitable = status == 409 and state in ("queued", "running")
+            if not wait or not waitable:
+                raise ServeError(status, doc)
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    status, doc, message=f"timed out waiting on {job_id}"
+                )
+            time.sleep(min(self.retry_cap, _retry_after(headers, 0.2)))
+
+    def run(
+        self, request: dict, timeout: float = 120.0
+    ) -> "tuple[dict, bytes]":
+        """Submit-and-wait convenience: returns ``(job view, result
+        bytes)``."""
+        view = self.submit(request)
+        raw = self.result_bytes(view["id"], wait=True, timeout=timeout)
+        return self.job(view["id"]), raw
+
+
+def _retry_after(headers, default: float) -> float:
+    try:
+        value = headers.get("Retry-After") if headers is not None else None
+        return max(0.05, float(value)) if value is not None else default
+    except (TypeError, ValueError):
+        return default

@@ -394,3 +394,203 @@ def test_randomly_lossy_garbled_transport_stays_byte_identical(
     assert _blobs(results) == serial_baseline
     # garbled lines die in parse_line, never in the event stream
     assert state.report()["malformed_events"] == 0
+
+
+# ----------------------------------------------------------------------
+# pooled worker agents (repro worker --workers N)
+# ----------------------------------------------------------------------
+def test_cluster_with_pooled_workers_is_byte_identical(
+    tmp_path, serial_baseline
+):
+    specs = GRID.specs()
+    state = ProgressState(total=len(specs))
+    executor = ClusterExecutor(
+        workers=2,
+        worker_procs=2,  # 2 agents x 2 pool processes each
+        cache_dir=tmp_path / "bus",
+        heartbeat_interval=0.2,
+        retry=RetryPolicy(max_attempts=5, backoff_base=0.0),
+    )
+    results = executor.run(specs, on_event=state.handle)
+    assert _blobs(results) == serial_baseline
+    report = state.report()
+    assert report["done"] == len(specs)
+    assert report["malformed_events"] == 0
+
+
+# ----------------------------------------------------------------------
+# the serve daemon: SIGKILL mid-sweep -> restart -> resubmit, overload
+# ----------------------------------------------------------------------
+def _serve_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_daemon(state_dir, *extra):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir), "--port", "0", *extra,
+        ],
+        env=_serve_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _endpoint(state_dir, proc, timeout=30.0):
+    from repro.serve import endpoint_path
+
+    path = endpoint_path(state_dir)
+    pid = proc.pid
+    assert wait_for(
+        lambda: proc.poll() is None
+        and path.is_file()
+        and json.loads(path.read_text()).get("pid") == pid,
+        timeout=timeout,
+    ), "the daemon never advertised its endpoint"
+    return json.loads(path.read_text())["url"]
+
+
+def test_daemon_sigkill_restart_resubmit_is_byte_identical(tmp_path):
+    """The tentpole chaos scenario: SIGKILL the daemon mid-sweep, start
+    a fresh daemon on the same state dir, resubmit the identical
+    campaign -- the result is byte-identical to a clean serial run and
+    only the unlanded cells recompute."""
+    from repro.api.result import SCHEMA_VERSION
+    from repro.serve import ServeClient
+
+    baseline = (
+        dumps_canonical(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "grid": GRID.to_dict(),
+                "results": [
+                    r.to_dict() for r in SerialExecutor().run(GRID.specs())
+                ],
+            }
+        )
+        + "\n"
+    ).encode("utf-8")
+    total = len(GRID.specs())
+    state_dir = tmp_path / "state"
+    request = {"grid": GRID.to_dict()}
+
+    proc = _start_daemon(state_dir)
+    try:
+        client = ServeClient(_endpoint(state_dir, proc), client_id="chaos")
+        job_id = client.submit(request)["id"]
+
+        def landed() -> int:
+            view = client.job(job_id)
+            return view["landed"] or 0
+
+        # kill as soon as real progress landed but before completion
+        assert wait_for(
+            lambda: 1 <= landed() < total
+            or client.job(job_id)["status"] == "done",
+            timeout=120.0,
+        ), "the daemon never landed a cell"
+        landed_at_kill = landed()
+        assert landed_at_kill < total, (
+            "the sweep finished before the kill window; shrink n"
+        )
+        sigkill(proc.pid)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+    finally:
+        proc.kill()
+
+    # the journal survived the kill with real unfinished work
+    journal = SweepJournal.load(state_dir / "jobs" / job_id)
+    assert journal.unlanded(), "nothing left to resume; kill came too late"
+
+    proc = _start_daemon(state_dir)
+    try:
+        client = ServeClient(_endpoint(state_dir, proc), client_id="chaos")
+        # the restarted daemon recovered the interrupted job; the
+        # resubmission dedupes onto it rather than spawning a twin
+        view = client.submit(request)
+        assert view["id"] == job_id and view["created"] is False
+        raw = client.result_bytes(job_id, wait=True, timeout=180.0)
+        assert raw == baseline
+        final = client.job(job_id)
+        assert final["resumes"] >= 1
+        # only unlanded cells recomputed: every cell landed pre-kill
+        # replayed as a bus hit on the resumed run
+        assert final["hits"] >= landed_at_kill
+        assert final["hits"] + final["misses"] + final["stale"] == total
+    finally:
+        sigkill(proc.pid)
+        proc.wait(timeout=30)
+
+
+def test_daemon_overload_sheds_load_with_retry_after(tmp_path):
+    """Admission control under pressure: a saturated daemon answers
+    429 (client cap) and 503 (queue full) with Retry-After instead of
+    accepting unbounded work, and every admitted job still lands."""
+    from repro.serve import (
+        CampaignService,
+        ClientBusy,
+        QueueFull,
+        make_server,
+        ServeClient,
+    )
+
+    gate = threading.Event()
+    service = CampaignService(
+        tmp_path / "state",
+        queue_limit=1,
+        per_client_limit=1,
+        before_job=lambda job: gate.wait(timeout=60.0),
+    )
+    service.start()
+    server = make_server(service, host="127.0.0.1", port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+
+    spec = GRID.specs()[0]
+
+    def request(i):
+        return {"spec": dict(spec.to_dict(), n=i + 1)}
+
+    from repro.serve import ServeError
+
+    try:
+        alice = ServeClient(url, client_id="alice")
+        bob = ServeClient(url, client_id="bob")
+        carol = ServeClient(url, client_id="carol")
+        first = alice.submit(request(0))  # claimed by the parked runner
+        assert wait_for(
+            lambda: alice.job(first["id"])["status"] == "running",
+            timeout=30.0,
+        )
+        # alice is at her in-flight cap -> 429 + Retry-After
+        with pytest.raises(ServeError) as busy:
+            alice.submit(request(1), retry=False)
+        assert busy.value.status == 429
+        assert busy.value.body["retry_after"] >= 1
+        second = bob.submit(request(2))  # fills the queue (limit 1)
+        # the queue is full -> 503 + Retry-After for anyone else
+        with pytest.raises(ServeError) as full:
+            carol.submit(request(3), retry=False)
+        assert full.value.status == 503
+        assert full.value.body["retry_after"] >= 1
+        stats = carol.stats()
+        assert stats["counters"]["rejected_busy"] >= 1
+        assert stats["counters"]["rejected_full"] >= 1
+        # release the gate: every admitted job completes, none lost
+        gate.set()
+        for client, view in ((alice, first), (bob, second)):
+            raw = client.result_bytes(
+                view["id"], wait=True, timeout=120.0
+            )
+            assert raw.endswith(b"\n")
+        assert carol.stats()["jobs"] == {"done": 2}
+    finally:
+        gate.set()
+        server.shutdown()
+        server.server_close()
+        service.close(timeout=30.0)
